@@ -1,0 +1,179 @@
+// Command fivm regenerates the paper's evaluation tables and figures
+// (Section 7 and Appendix C) on scaled-down synthetic workloads.
+//
+// Usage:
+//
+//	fivm <experiment> [flags]
+//
+// Experiments: fig6left, fig6right, fig7, fig8, fig11, fig12, fig13,
+// triangle-indicator, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fivm/internal/bench"
+	"fivm/internal/datasets"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `fivm — F-IVM experiment driver
+
+Usage: fivm <experiment> [flags]
+
+Experiments (paper artifact each regenerates):
+  fig6left            matrix chain, one-row updates (Figure 6 left)
+  fig6right           matrix chain, rank-r updates (Figure 6 right)
+  fig7                cofactor maintenance, throughput + memory (Figure 7)
+  fig8                join result representations (Figure 8)
+  fig11               SUM-aggregate throughput table (Appendix C)
+  fig12               batch size sweep (Figure 12)
+  fig13               cofactor over the triangle query (Figure 13)
+  triangle-indicator  indicator projections on the triangle (Appendix B)
+  ablations           engine design-choice ablations (chain composition,
+                      materialization rule, payload encoding)
+  views               print a dataset's view tree and materialization
+  sql "SELECT ..."    maintain an ad-hoc query over a dataset's stream
+  all                 everything above at default scale
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dataset := fs.String("dataset", "retailer", "dataset for fig7/fig8: retailer or housing")
+	batch := fs.Int("batch", 1000, "update batch size")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-strategy timeout (the paper's 1h limit, scaled)")
+	scale := fs.Int("scale", 1, "dataset scale multiplier")
+	noScalar := fs.Bool("no-scalar", false, "skip the per-aggregate scalar competitors (DBT, 1-IVM)")
+	fs.Parse(os.Args[2:])
+
+	retailer := datasets.DefaultRetailer()
+	retailer.Dates *= *scale
+	housing := datasets.DefaultHousing()
+	housing.Scale *= *scale
+	twitter := datasets.DefaultTwitter()
+	twitter.Edges *= *scale
+
+	print := func(ts ...*bench.Table) {
+		for _, t := range ts {
+			fmt.Println(t.Format())
+		}
+	}
+
+	runFig7 := func(ds string) {
+		cfg := bench.DefaultFig7(ds)
+		cfg.BatchSize = *batch
+		cfg.Timeout = *timeout
+		cfg.Retailer = retailer
+		cfg.Housing = housing
+		cfg.IncludeScalar = !*noScalar
+		print(bench.Fig7(cfg)...)
+	}
+	runFig8 := func(ds string) {
+		cfg := bench.DefaultFig8(ds)
+		cfg.BatchSize = *batch
+		cfg.Timeout = *timeout
+		cfg.Retailer = retailer
+		if ds == "housing" {
+			print(bench.Fig8Housing(cfg))
+		} else {
+			print(bench.Fig8Retailer(cfg)...)
+		}
+	}
+
+	switch cmd {
+	case "fig6left":
+		cfg := bench.DefaultFig6()
+		if *scale > 1 {
+			cfg.Ns = append(cfg.Ns, 128**scale, 256**scale)
+		}
+		print(bench.Fig6Left(cfg))
+	case "fig6right":
+		cfg := bench.DefaultFig6()
+		cfg.N *= *scale
+		print(bench.Fig6Right(cfg))
+	case "fig7":
+		runFig7(*dataset)
+	case "fig8":
+		runFig8(*dataset)
+	case "fig11":
+		cfg := bench.DefaultFig11()
+		cfg.BatchSize = *batch
+		cfg.Timeout = *timeout
+		cfg.Retailer = retailer
+		cfg.Housing = housing
+		print(bench.Fig11(cfg))
+	case "fig12":
+		cfg := bench.DefaultFig12()
+		cfg.Timeout = *timeout
+		cfg.Retailer = retailer
+		cfg.Housing = housing
+		cfg.Twitter = twitter
+		print(bench.Fig12(cfg))
+	case "fig13":
+		cfg := bench.DefaultFig13()
+		cfg.BatchSize = *batch
+		cfg.Timeout = *timeout
+		cfg.Twitter = twitter
+		print(bench.Fig13(cfg)...)
+	case "triangle-indicator":
+		cfg := bench.DefaultFig13()
+		cfg.BatchSize = *batch
+		cfg.Timeout = *timeout
+		cfg.Twitter = twitter
+		print(bench.TriangleIndicator(cfg))
+	case "ablations":
+		cfg := bench.DefaultAblation()
+		cfg.Timeout = *timeout
+		cfg.Retailer = retailer
+		print(bench.Ablations(cfg))
+	case "views":
+		ds := pickDataset(*dataset, retailer, housing, twitter)
+		print(bench.ViewTreeReport(ds, nil))
+		print(bench.ViewTreeReport(ds, []string{ds.Largest}))
+	case "sql":
+		if fs.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, `usage: fivm sql [-dataset retailer|housing] "SELECT ..."`)
+			os.Exit(2)
+		}
+		ds := pickDataset(*dataset, retailer, housing, twitter)
+		if err := runSQL(ds, fs.Arg(0), *batch); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "all":
+		print(bench.Fig6Left(bench.DefaultFig6()))
+		print(bench.Fig6Right(bench.DefaultFig6()))
+		runFig7("retailer")
+		runFig7("housing")
+		runFig8("retailer")
+		runFig8("housing")
+		cfg11 := bench.DefaultFig11()
+		cfg11.Timeout = *timeout
+		print(bench.Fig11(cfg11))
+		cfg12 := bench.DefaultFig12()
+		cfg12.Timeout = *timeout
+		print(bench.Fig12(cfg12))
+		cfg13 := bench.DefaultFig13()
+		cfg13.Timeout = *timeout
+		print(bench.Fig13(cfg13)...)
+		print(bench.TriangleIndicator(bench.DefaultFig13()))
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,275 @@
+// Package fivm is F-IVM: factorized incremental view maintenance for
+// analytics over normalized data, reproducing "Incremental View Maintenance
+// with Triple Lock Factorization Benefits" (Nikolic & Olteanu, SIGMOD 2018).
+//
+// Analytical tasks are expressed as group-by aggregate queries over
+// relations that map keys to payloads in a task-specific ring. One view-tree
+// maintenance machinery serves every task; tasks differ only in the ring and
+// the lifting functions:
+//
+//   - counts and sums: the Z or R rings (IntRing, FloatRing),
+//   - gradient computation for linear regression over joins: the degree-m
+//     matrix ring of (count, sums, cofactor matrix) triples (CofactorRing),
+//   - conjunctive query results in listing or factorized form: the
+//     relational data ring (RelRing).
+//
+// The package is a facade re-exporting the library's public surface; the
+// implementation lives under internal/. A quick taste:
+//
+//	q := fivm.MustQuery("Q", fivm.NewSchema("A"),
+//	    fivm.Rel("R", fivm.NewSchema("A", "B")),
+//	    fivm.Rel("S", fivm.NewSchema("A", "C")))
+//	ord := fivm.MustOrder(fivm.V("A", fivm.V("B"), fivm.V("C")))
+//	eng, _ := fivm.NewEngine[int64](q, ord, fivm.IntRing{}, fivm.CountLift, fivm.EngineOptions[int64]{})
+//	_ = eng.Init()
+//	// feed deltas with eng.ApplyDelta; read eng.Result().
+package fivm
+
+import (
+	"fivm/internal/data"
+	"fivm/internal/datasets"
+	"fivm/internal/factorized"
+	"fivm/internal/ivm"
+	"fivm/internal/matrix"
+	"fivm/internal/mcm"
+	"fivm/internal/query"
+	"fivm/internal/regression"
+	"fivm/internal/ring"
+	"fivm/internal/sqlparse"
+	"fivm/internal/viewtree"
+	"fivm/internal/vorder"
+)
+
+// --- data model ---------------------------------------------------------
+
+// Value is a single key attribute value (int64, float64, or string).
+type Value = data.Value
+
+// Tuple is an ordered list of values over a schema.
+type Tuple = data.Tuple
+
+// Schema is an ordered list of distinct variable names.
+type Schema = data.Schema
+
+// Relation maps key tuples to ring payloads with finite support.
+type Relation[P any] = data.Relation[P]
+
+// Entry is one key/payload pair.
+type Entry[P any] = data.Entry[P]
+
+// Multiset is a relation over Z: the element type of the relational ring.
+type Multiset = data.Multiset
+
+// LiftFunc maps a variable's value into the payload ring.
+type LiftFunc[P any] = data.LiftFunc[P]
+
+// Value constructors and helpers.
+var (
+	Int       = data.Int
+	Float     = data.Float
+	String    = data.String
+	Ints      = data.Ints
+	Floats    = data.Floats
+	NewSchema = data.NewSchema
+)
+
+// NewRelation creates an empty relation over a ring and schema.
+func NewRelation[P any](r Ring[P], schema Schema) *Relation[P] {
+	return data.NewRelation[P](r, schema)
+}
+
+// --- rings ----------------------------------------------------------------
+
+// Ring is the payload algebra interface.
+type Ring[T any] = ring.Ring[T]
+
+// IntRing is Z; FloatRing is R.
+type (
+	IntRing   = ring.Int
+	FloatRing = ring.Float
+)
+
+// CofactorRing is the degree-m matrix ring of regression triples.
+type CofactorRing = ring.Cofactor
+
+// Triple is a (count, sums, cofactor matrix) compound aggregate.
+type Triple = ring.Triple
+
+// DegreeMapRing is the degree-indexed aggregate encoding (SQL-OPT).
+type DegreeMapRing = ring.DegreeMap
+
+// RelRing is the relational data ring F[Z].
+type RelRing = data.RelRing
+
+// LiftValue is the regression lifting g_j(x) = (1, s_j=x, Q_jj=x²).
+var LiftValue = ring.LiftValue
+
+// CountLift lifts every value to 1 in the Z ring (COUNT queries).
+func CountLift(string, Value) int64 { return 1 }
+
+// --- queries and variable orders -------------------------------------------
+
+// Query is a natural join with group-by (free) variables.
+type Query = query.Query
+
+// RelDef names a relation and its schema.
+type RelDef = query.RelDef
+
+// Rel builds a relation definition.
+func Rel(name string, schema Schema) RelDef { return RelDef{Name: name, Schema: schema} }
+
+// NewQuery and MustQuery build queries.
+var (
+	NewQuery  = query.New
+	MustQuery = query.MustNew
+)
+
+// SQLCatalog maps relation names to schemas for the SQL front-end.
+type SQLCatalog = sqlparse.Catalog
+
+// ParsedSQL is a parsed SQL query: the join-aggregate query plus liftings.
+type ParsedSQL = sqlparse.Parsed
+
+// ParseSQL parses the paper's SQL dialect (natural joins, one SUM over a
+// product of columns, GROUP BY) against a catalog of relation schemas.
+var ParseSQL = sqlparse.Parse
+
+// Order is a variable order (the F-IVM analogue of a query plan).
+type Order = vorder.Order
+
+// OrderNode is one variable in an order.
+type OrderNode = vorder.Node
+
+// Variable order constructors: V builds nodes, Chain builds paths,
+// MustOrder assembles orders, BuildOrder derives one heuristically.
+var (
+	V          = vorder.V
+	Chain      = vorder.Chain
+	MustOrder  = vorder.MustNew
+	NewOrder   = vorder.New
+	BuildOrder = vorder.Build
+)
+
+// ViewNode is one view in a view tree.
+type ViewNode = viewtree.Node
+
+// --- the engine -------------------------------------------------------------
+
+// Engine is the F-IVM maintainer.
+type Engine[P any] = ivm.Engine[P]
+
+// EngineOptions configures materialization, chain composition, indicator
+// projections, and payload transforms.
+type EngineOptions[P any] = ivm.Options[P]
+
+// Maintainer is the interface all maintenance strategies implement.
+type Maintainer[P any] = ivm.Maintainer[P]
+
+// FactoredDelta is an update expressed as a product of factors.
+type FactoredDelta[P any] = ivm.FactoredDelta[P]
+
+// NewEngine builds an F-IVM engine.
+func NewEngine[P any](q Query, o *Order, r Ring[P], lift LiftFunc[P], opts EngineOptions[P]) (*Engine[P], error) {
+	return ivm.New[P](q, o, r, lift, opts)
+}
+
+// Competitor strategies (first-order IVM, DBToaster-style recursive IVM,
+// and re-evaluation), exposed for benchmarking and comparison.
+func NewFirstOrder[P any](q Query, o *Order, r Ring[P], lift LiftFunc[P]) (Maintainer[P], error) {
+	return ivm.NewFirstOrder[P](q, o, r, lift)
+}
+
+// NewRecursive builds DBToaster-style fully recursive IVM.
+func NewRecursive[P any](q Query, r Ring[P], lift LiftFunc[P], updatable []string) (Maintainer[P], error) {
+	return ivm.NewRecursive[P](q, r, lift, updatable)
+}
+
+// NewReEval builds the re-evaluation baseline.
+func NewReEval[P any](q Query, o *Order, r Ring[P], lift LiftFunc[P]) (Maintainer[P], error) {
+	return ivm.NewReEval[P](q, o, r, lift)
+}
+
+// --- applications -------------------------------------------------------------
+
+// CofactorModel maintains regression aggregates over a join; Model is a
+// trained linear model.
+type (
+	CofactorModel = regression.CofactorModel
+	TrainOptions  = regression.TrainOptions
+	Model         = regression.Model
+)
+
+// NewCofactorModel builds a cofactor maintenance engine.
+var NewCofactorModel = regression.NewCofactorModel
+
+// Matrix chain multiplication over F-IVM and dense backends.
+type (
+	HashChain  = mcm.HashChain
+	DenseChain = mcm.DenseChain
+	Dense      = matrix.Dense
+	RankOne    = matrix.RankOne
+)
+
+// Matrix chain constructors and helpers.
+var (
+	NewHashChain    = mcm.NewHashChain
+	NewDenseChain   = mcm.NewDenseChain
+	NewDense        = matrix.NewDense
+	RandomDense     = matrix.Random
+	DecomposeMatrix = matrix.Decompose
+)
+
+// Conjunctive query results in the three representations of Section 6.3.
+type (
+	CQResult = factorized.Result
+	CQMode   = factorized.Mode
+)
+
+// Result representation modes.
+const (
+	ListKeys     = factorized.ListKeys
+	ListPayloads = factorized.ListPayloads
+	FactPayloads = factorized.FactPayloads
+)
+
+// NewCQResult builds a maintained conjunctive query result.
+var NewCQResult = factorized.New
+
+// --- datasets ----------------------------------------------------------------
+
+// Dataset bundles a generated workload; Batch is one stream update;
+// WindowedBatch marks sliding-window deletions.
+type (
+	Dataset       = datasets.Dataset
+	Batch         = datasets.Batch
+	WindowedBatch = datasets.WindowedBatch
+)
+
+// WindowedStream turns one relation into a sliding-window insert/delete
+// stream.
+var WindowedStream = datasets.WindowedStream
+
+// Dataset configuration types.
+type (
+	RetailerConfig = datasets.RetailerConfig
+	HousingConfig  = datasets.HousingConfig
+	TwitterConfig  = datasets.TwitterConfig
+)
+
+// Dataset generators and stream synthesis.
+var (
+	GenRetailer      = datasets.GenRetailer
+	GenHousing       = datasets.GenHousing
+	GenTwitter       = datasets.GenTwitter
+	DefaultRetailer  = datasets.DefaultRetailer
+	DefaultHousing   = datasets.DefaultHousing
+	DefaultTwitter   = datasets.DefaultTwitter
+	RoundRobinStream = datasets.RoundRobinStream
+	SingleRelStream  = datasets.SingleRelationStream
+	RetailerQuery    = datasets.RetailerQuery
+	HousingQuery     = datasets.HousingQuery
+	TriangleQuery    = datasets.TriangleQuery
+	RetailerOrder    = datasets.RetailerOrder
+	HousingOrder     = datasets.HousingOrder
+	TriangleOrder    = datasets.TriangleOrder
+)

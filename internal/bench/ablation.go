@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"time"
+
+	"fivm/internal/datasets"
+	"fivm/internal/ivm"
+	"fivm/internal/ring"
+	"fivm/internal/viewtree"
+)
+
+// AblationConfig scales the design-choice ablations.
+type AblationConfig struct {
+	Timeout  time.Duration
+	Retailer datasets.RetailerConfig
+}
+
+// DefaultAblation is a laptop-scale configuration.
+func DefaultAblation() AblationConfig {
+	return AblationConfig{Timeout: 10 * time.Second, Retailer: datasets.DefaultRetailer()}
+}
+
+// Ablations quantifies the engine's individual design choices on the
+// Retailer cofactor workload:
+//
+//   - chain composition (one view per wide relation vs one view per
+//     variable), the paper's Section 3 practical optimization;
+//   - the materialization rule µ(τ, U) (only the views the workload needs)
+//     vs materializing every view, when only the largest relation changes;
+//   - the sparse block representation of cofactor triples vs the explicit
+//     degree-map encoding (the F-IVM vs SQL-OPT gap isolated on one tree).
+func Ablations(cfg AblationConfig) *Table {
+	ds := datasets.GenRetailer(cfg.Retailer)
+	cs := newCofactorStrategies(ds.Query)
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), 1000)
+	oneStream := datasets.SingleRelationStream(ds, ds.Largest, 1000)
+	opts := RunOptions{Timeout: cfg.Timeout}
+
+	t := &Table{
+		Title:  "Ablations: engine design choices on Retailer cofactor maintenance",
+		Header: []string{"variant", "views", "throughput", "peak mem"},
+	}
+	add := func(name string, r RunResult) {
+		t.AddRow(name, r.Views, fmtTput(r.Throughput), fmtMem(r.PeakMem))
+	}
+
+	// Chain composition on vs off.
+	{
+		m, err := ivm.New[ring.Triple](ds.Query, ds.NewOrder(), ring.Cofactor{}, tripleLift(cs.vars),
+			ivm.Options[ring.Triple]{ComposeChains: true})
+		must(err)
+		must(m.Init())
+		add("composed chains (default)", RunStream("composed", Adapt(m, tripleDelta(ds.Query)), stream, opts))
+	}
+	{
+		m, err := ivm.New[ring.Triple](ds.Query, ds.NewOrder(), ring.Cofactor{}, tripleLift(cs.vars),
+			ivm.Options[ring.Triple]{ComposeChains: false})
+		must(err)
+		must(m.Init())
+		add("one view per variable", RunStream("per-var", Adapt(m, tripleDelta(ds.Query)), stream, opts))
+	}
+
+	// Materialization rule vs materialize-everything, ONE workload.
+	skip := map[string]bool{ds.Largest: true}
+	{
+		m, err := cs.FIVM(ds.NewOrder(), []string{ds.Largest})
+		must(err)
+		must(preload(m, ds, tripleDelta(ds.Query), skip))
+		add("µ(τ,{Inventory})", RunStream("mu", Adapt(m, tripleDelta(ds.Query)), oneStream, opts))
+	}
+	{
+		m, err := cs.FIVM(ds.NewOrder(), nil) // U = all: every view materialized
+		must(err)
+		must(preload(m, ds, tripleDelta(ds.Query), skip))
+		add("materialize everything", RunStream("all", Adapt(m, tripleDelta(ds.Query)), oneStream, opts))
+	}
+
+	// Payload encoding: sparse triples vs degree maps on the same tree.
+	{
+		m, err := cs.SQLOPT(ds.NewOrder(), nil)
+		must(err)
+		must(m.Init())
+		add("degree-map payloads (SQL-OPT)", RunStream("degmap", Adapt(m, degMapDelta(ds.Query)), stream, opts))
+	}
+	return t
+}
+
+// ViewTreeReport renders a dataset's view tree with the materialization
+// decision per updatable set — the `fivm views` inspection tool.
+func ViewTreeReport(ds *datasets.Dataset, updatable []string) *Table {
+	if len(updatable) == 0 {
+		updatable = ds.Query.RelNames()
+	}
+	o := ds.NewOrder()
+	must(o.Prepare(ds.Query))
+	root, err := viewtree.Build(o, ds.Query)
+	must(err)
+	root = viewtree.CollapseIdentical(root)
+	root = viewtree.ComposeChains(root)
+	mat := viewtree.Materialize(root, updatable)
+
+	t := &Table{
+		Title:  "View tree for " + ds.Name + " (updatable: " + join(updatable, ",") + ")",
+		Header: []string{"view", "keys", "marginalizes", "relations", "materialized"},
+	}
+	root.Walk(func(n *viewtree.Node) {
+		t.AddRow(n.Name(), n.Keys.String(), margOf(n), join(n.Rels, ","), mat[n])
+	})
+	return t
+}
+
+func join(ss []string, sep string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += sep
+		}
+		out += s
+	}
+	if out == "" {
+		return "(all)"
+	}
+	return out
+}
+
+func margOf(n *viewtree.Node) string {
+	if len(n.Marg) == 0 {
+		return "-"
+	}
+	return n.Marg.String()
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fivm/internal/datasets"
+	"fivm/internal/ivm"
+	"fivm/internal/ring"
+)
+
+// Fig11Config scales the sum-aggregate table (Appendix C, Figure 11).
+type Fig11Config struct {
+	BatchSize int
+	Timeout   time.Duration
+	Retailer  datasets.RetailerConfig
+	Housing   datasets.HousingConfig
+}
+
+// DefaultFig11 is a laptop-scale configuration.
+func DefaultFig11() Fig11Config {
+	return Fig11Config{
+		BatchSize: 1000,
+		Timeout:   5 * time.Second,
+		Retailer:  datasets.DefaultRetailer(),
+		Housing:   datasets.DefaultHousing(),
+	}
+}
+
+// Fig11 regenerates the Appendix C table: average throughput of maintaining
+// a SUM aggregate over the natural join, for F-IVM, DBT, 1-IVM, F-RE
+// (factorized re-evaluation), and DBT-RE (unfactorized re-evaluation), with
+// updates to all relations. Expected shape: F-IVM highest; DBT close behind
+// (same pre-aggregated views on Housing's star join); 1-IVM slower; both
+// re-evaluation strategies orders of magnitude behind, with DBT-RE worst
+// (timeouts marked *).
+func Fig11(cfg Fig11Config) *Table {
+	t := &Table{
+		Title:  "Figure 11 (Appendix C): SUM-aggregate maintenance throughput (tuples/sec)",
+		Note:   "* = hit the scaled-down timeout, throughput over the processed prefix",
+		Header: []string{"dataset", "F-IVM", "DBT", "1-IVM", "F-RE", "DBT-RE"},
+	}
+	for _, name := range []string{"retailer", "housing"} {
+		var ds *datasets.Dataset
+		var sumVar string
+		if name == "retailer" {
+			ds = datasets.GenRetailer(cfg.Retailer)
+			sumVar = "inventoryunits"
+		} else {
+			ds = datasets.GenHousing(cfg.Housing)
+			sumVar = "postcode"
+		}
+		lift := sumLift(sumVar)
+		stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
+		opts := RunOptions{Timeout: cfg.Timeout}
+		cell := func(r RunResult) string {
+			s := fmtTput(r.Throughput)
+			if r.TimedOut {
+				s += "*"
+			}
+			return s
+		}
+
+		fivm, err := ivm.New[float64](ds.Query, ds.NewOrder(), ring.Float{}, lift,
+			ivm.Options[float64]{ComposeChains: true})
+		must(err)
+		must(fivm.Init())
+		rFIVM := RunStream("F-IVM", Adapt[float64](fivm, floatDelta(ds.Query)), stream, opts)
+
+		dbt, err := ivm.NewRecursive[float64](ds.Query, ring.Float{}, lift, nil)
+		must(err)
+		must(dbt.Init())
+		rDBT := RunStream("DBT", Adapt[float64](dbt, floatDelta(ds.Query)), stream, opts)
+
+		first, err := ivm.NewFirstOrder[float64](ds.Query, ds.NewOrder(), ring.Float{}, lift)
+		must(err)
+		must(first.Init())
+		r1 := RunStream("1-IVM", Adapt[float64](first, floatDelta(ds.Query)), stream, opts)
+
+		fre, err := ivm.NewReEval[float64](ds.Query, ds.NewOrder(), ring.Float{}, lift)
+		must(err)
+		must(fre.Init())
+		rFRE := RunStream("F-RE", Adapt[float64](fre, floatDelta(ds.Query)), stream, opts)
+
+		dre := ivm.NewNaiveReEval[float64](ds.Query, ring.Float{}, lift)
+		must(dre.Init())
+		rDRE := RunStream("DBT-RE", Adapt[float64](dre, floatDelta(ds.Query)), stream, opts)
+
+		t.AddRow(fmt.Sprintf("%s (SUM(%s))", name, sumVar),
+			cell(rFIVM), cell(rDBT), cell(r1), cell(rFRE), cell(rDRE))
+	}
+	return t
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fivm/internal/datasets"
+)
+
+// Fig12Config scales the batch-size sweep (Figure 12).
+type Fig12Config struct {
+	BatchSizes []int
+	Timeout    time.Duration
+	Retailer   datasets.RetailerConfig
+	Housing    datasets.HousingConfig
+	Twitter    datasets.TwitterConfig
+}
+
+// DefaultFig12 is a laptop-scale configuration (the paper sweeps 100 to
+// 100,000 on streams of tens of millions; the scaled sweep keeps the same
+// ratios to the stream length).
+func DefaultFig12() Fig12Config {
+	return Fig12Config{
+		BatchSizes: []int{10, 100, 1000, 10000},
+		Timeout:    5 * time.Second,
+		Retailer:   datasets.DefaultRetailer(),
+		Housing:    datasets.DefaultHousing(),
+		Twitter:    datasets.DefaultTwitter(),
+	}
+}
+
+// Fig12 regenerates Figure 12: cofactor maintenance throughput across batch
+// sizes for the best three strategies per dataset. Expected shape: both very
+// small and very large batches lose to mid-sized ones (per-batch overhead vs
+// cache effects), with the sweet spot around 1,000–10,000 tuples.
+func Fig12(cfg Fig12Config) *Table {
+	t := &Table{
+		Title:  "Figure 12: cofactor maintenance throughput vs batch size (tuples/sec)",
+		Header: []string{"dataset", "strategy"},
+	}
+	for _, bs := range cfg.BatchSizes {
+		t.Header = append(t.Header, fmt.Sprintf("BS=%d", bs))
+	}
+
+	type strat struct {
+		name string
+		mk   func(ds *datasets.Dataset) Loader
+	}
+	mkFIVM := func(ds *datasets.Dataset) Loader {
+		cs := newCofactorStrategies(ds.Query)
+		m, err := cs.FIVM(ds.NewOrder(), nil)
+		must(err)
+		must(m.Init())
+		return Adapt(m, tripleDelta(ds.Query))
+	}
+	mkSQLOPT := func(ds *datasets.Dataset) Loader {
+		cs := newCofactorStrategies(ds.Query)
+		m, err := cs.SQLOPT(ds.NewOrder(), nil)
+		must(err)
+		must(m.Init())
+		return Adapt(m, degMapDelta(ds.Query))
+	}
+	mkDBTRing := func(ds *datasets.Dataset) Loader {
+		cs := newCofactorStrategies(ds.Query)
+		m, err := cs.DBTRing(nil)
+		must(err)
+		must(m.Init())
+		return Adapt(m, tripleDelta(ds.Query))
+	}
+	mk1IVMScalar := func(ds *datasets.Dataset) Loader {
+		cs := newCofactorStrategies(ds.Query)
+		m, err := cs.FirstOrderScalar(ds.NewOrder())
+		must(err)
+		must(m.Init())
+		return Adapt[float64](m, floatDelta(ds.Query))
+	}
+
+	gens := []struct {
+		name   string
+		gen    func() *datasets.Dataset
+		strats []strat
+	}{
+		{"retailer", func() *datasets.Dataset { return datasets.GenRetailer(cfg.Retailer) },
+			[]strat{{"F-IVM", mkFIVM}, {"SQL-OPT", mkSQLOPT}, {"DBT-RING", mkDBTRing}}},
+		{"housing", func() *datasets.Dataset { return datasets.GenHousing(cfg.Housing) },
+			[]strat{{"F-IVM", mkFIVM}, {"SQL-OPT", mkSQLOPT}, {"DBT-RING", mkDBTRing}}},
+		{"twitter", func() *datasets.Dataset { return datasets.GenTwitter(cfg.Twitter) },
+			[]strat{{"F-IVM", mkFIVM}, {"1-IVM", mk1IVMScalar}, {"DBT-RING", mkDBTRing}}},
+	}
+
+	for _, g := range gens {
+		for _, s := range g.strats {
+			row := []string{g.name, s.name}
+			for _, bs := range cfg.BatchSizes {
+				ds := g.gen()
+				stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), bs)
+				res := RunStream(s.name, s.mk(ds), stream, RunOptions{Timeout: cfg.Timeout})
+				cellStr := fmtTput(res.Throughput)
+				if res.TimedOut {
+					cellStr += "*"
+				}
+				row = append(row, cellStr)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"time"
+
+	"fivm/internal/data"
+	"fivm/internal/datasets"
+	"fivm/internal/ivm"
+	"fivm/internal/ring"
+	"fivm/internal/viewtree"
+)
+
+// Fig13Config scales the triangle-query cofactor experiment (Figure 13).
+type Fig13Config struct {
+	BatchSize int
+	Timeout   time.Duration
+	Twitter   datasets.TwitterConfig
+}
+
+// DefaultFig13 is a laptop-scale configuration.
+func DefaultFig13() Fig13Config {
+	return Fig13Config{
+		BatchSize: 1000,
+		Timeout:   10 * time.Second,
+		Twitter:   datasets.DefaultTwitter(),
+	}
+}
+
+// Fig13 regenerates Figure 13: cofactor maintenance over the triangle query
+// on the Twitter graph. Expected shape: throughput of the strategies that
+// materialize quadratic-size pairwise joins (F-IVM with one S⋈T view,
+// DBT-RING with all three) declines sharply as the stream progresses; the
+// scalar DBT is worst; 1-IVM declines linearly; F-IVM-ONE (updates to R
+// only) is orders of magnitude faster at the cost of the stored join view.
+func Fig13(cfg Fig13Config) []*Table {
+	ds := datasets.GenTwitter(cfg.Twitter)
+	cs := newCofactorStrategies(ds.Query)
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
+	oneStream := datasets.SingleRelationStream(ds, "R", cfg.BatchSize)
+	opts := RunOptions{Timeout: cfg.Timeout}
+
+	var results []RunResult
+
+	{
+		m, err := cs.FIVM(ds.NewOrder(), nil)
+		must(err)
+		must(m.Init())
+		results = append(results, RunStream("F-IVM", Adapt(m, tripleDelta(ds.Query)), stream, opts))
+	}
+	{
+		m, err := cs.DBTRing(nil)
+		must(err)
+		must(m.Init())
+		results = append(results, RunStream("DBT-RING", Adapt(m, tripleDelta(ds.Query)), stream, opts))
+	}
+	{
+		m, err := cs.DBTScalar(nil)
+		must(err)
+		must(m.Init())
+		results = append(results, RunStream("DBT", Adapt[float64](m, floatDelta(ds.Query)), stream, opts))
+	}
+	{
+		m, err := cs.FirstOrderScalar(ds.NewOrder())
+		must(err)
+		must(m.Init())
+		results = append(results, RunStream("1-IVM", Adapt[float64](m, floatDelta(ds.Query)), stream, opts))
+	}
+	{
+		m, err := cs.FIVM(ds.NewOrder(), []string{"R"})
+		must(err)
+		must(preload(m, ds, tripleDelta(ds.Query), map[string]bool{"R": true}))
+		results = append(results, RunStream("F-IVM ONE", Adapt(m, tripleDelta(ds.Query)), oneStream, opts))
+	}
+
+	return fig7Tables("Figure 13: cofactor over the triangle query (Twitter)", results)
+}
+
+// TriangleIndicator demonstrates Appendix B: the indicator projection
+// ∃_{A,B} R below the view at C bounds that view by |R| instead of the
+// O(N²) pairs of S ⋈ T, while maintaining the same result.
+func TriangleIndicator(cfg Fig13Config) *Table {
+	ds := datasets.GenTwitter(cfg.Twitter)
+	countLift := func(string, data.Value) int64 { return 1 }
+
+	build := func(ind bool) (*ivm.Engine[int64], RunResult) {
+		e, err := ivm.New[int64](ds.Query, ds.NewOrder(), ring.Int{}, countLift,
+			ivm.Options[int64]{Indicators: ind})
+		must(err)
+		must(e.Init())
+		stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
+		res := RunStream("triangle", Adapt[int64](e, intDelta(ds.Query)), stream, RunOptions{Timeout: cfg.Timeout})
+		return e, res
+	}
+
+	vcSize := func(e *ivm.Engine[int64]) int {
+		size := -1
+		e.Tree().Walk(func(n *viewtree.Node) {
+			if n.Var == "C" {
+				if v := e.ViewOf(n); v != nil {
+					size = v.Len()
+				}
+			}
+		})
+		return size
+	}
+
+	t := &Table{
+		Title:  "Appendix B: triangle count with and without indicator projections",
+		Header: []string{"variant", "triangles", "|V@C|", "throughput", "peak mem"},
+	}
+	for _, ind := range []bool{false, true} {
+		e, res := build(ind)
+		count, _ := e.Result().Get(data.Tuple{})
+		name := "plain"
+		if ind {
+			name = "with ∃_{A,B}R"
+		}
+		t.AddRow(name, count, vcSize(e), fmtTput(res.Throughput), fmtMem(res.PeakMem))
+	}
+	return t
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"fivm/internal/data"
+	"fivm/internal/ivm"
+	"fivm/internal/matrix"
+	"fivm/internal/mcm"
+	"fivm/internal/ring"
+)
+
+// Fig6Config scales the matrix chain experiments (Figure 6).
+type Fig6Config struct {
+	// Ns are the matrix dimensions for the row-update sweep (paper: 256 to
+	// 16384; scaled default: 16 to 128).
+	Ns []int
+	// N is the dimension for the rank-r sweep (paper: 4096).
+	N int
+	// Ranks are the tensor ranks for the rank-r sweep (paper: 1 to 256).
+	Ranks []int
+	// Updates is the number of timed updates per configuration.
+	Updates int
+	Seed    int64
+}
+
+// DefaultFig6 is a laptop-scale configuration.
+func DefaultFig6() Fig6Config {
+	return Fig6Config{
+		Ns:      []int{16, 32, 64, 128},
+		N:       96,
+		Ranks:   []int{1, 2, 4, 8, 16, 32, 64},
+		Updates: 3,
+		Seed:    1,
+	}
+}
+
+// timeIt runs f n times and returns the average seconds per run.
+func timeIt(n int, f func()) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f()
+	}
+	return time.Since(start).Seconds() / float64(n)
+}
+
+// randomRow draws a random row index and row values.
+func randomRow(rng *rand.Rand, n int) (int, []float64) {
+	i := rng.Intn(n)
+	row := make([]float64, n)
+	for j := range row {
+		row[j] = rng.Float64()*2 - 1
+	}
+	return i, row
+}
+
+// hashChainBaseline builds a 1-IVM or RE-EVAL maintainer over the 3-chain
+// query with the matrices loaded as relations.
+func hashChainBaseline(kind string, ms []*matrix.Dense) ivm.Maintainer[float64] {
+	q := mcm.ChainQuery(3)
+	var m ivm.Maintainer[float64]
+	var err error
+	lift := func(string, data.Value) float64 { return 1 }
+	switch kind {
+	case "1-IVM":
+		m, err = ivm.NewFirstOrder[float64](q, mcm.ChainOrder(3), ring.Float{}, lift)
+	case "RE-EVAL":
+		m, err = ivm.NewReEval[float64](q, mcm.ChainOrder(3), ring.Float{}, lift)
+	}
+	if err != nil {
+		panic(err)
+	}
+	for i := 1; i <= 3; i++ {
+		rel := mcm.MatrixToRelation(ms[i-1], mcm.VarName(i), mcm.VarName(i+1))
+		if err := m.Load(mcm.MatName(i), rel); err != nil {
+			panic(err)
+		}
+	}
+	if err := m.Init(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Fig6Left regenerates Figure 6 (left): average time per one-row update to
+// A2 in A = A1·A2·A3, for the hash (DBToaster-style) and dense (Octave
+// stand-in) backends and the three strategies. Expected shape: F-IVM's
+// advantage over 1-IVM and RE-EVAL grows with n (O(n²) vs O(n³)).
+func Fig6Left(cfg Fig6Config) *Table {
+	t := &Table{
+		Title:  "Figure 6 (left): matrix chain, one-row updates to A2",
+		Note:   "seconds per update; lower is better",
+		Header: []string{"n", "F-IVM", "1-IVM", "RE-EVAL", "dense F-IVM", "dense 1-IVM", "dense RE-EVAL"},
+	}
+	for _, n := range cfg.Ns {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		ms := []*matrix.Dense{matrix.Random(n, n, rng), matrix.Random(n, n, rng), matrix.Random(n, n, rng)}
+
+		hc, err := mcm.NewHashChain(3, 2, ms)
+		if err != nil {
+			panic(err)
+		}
+		first := hashChainBaseline("1-IVM", ms)
+		re := hashChainBaseline("RE-EVAL", ms)
+		dfivm, _ := mcm.NewDenseChain(2, ms)
+		dfirst, _ := mcm.NewDenseChain(2, ms)
+		dre, _ := mcm.NewDenseChain(2, ms)
+
+		tFIVM := timeIt(cfg.Updates, func() {
+			i, row := randomRow(rng, n)
+			_, r1 := mcm.RowUpdate(n, i, row)
+			if err := hc.ApplyRank1(r1.U, r1.V); err != nil {
+				panic(err)
+			}
+		})
+		rowDelta := func() *data.Relation[float64] {
+			i, row := randomRow(rng, n)
+			d, _ := mcm.RowUpdate(n, i, row)
+			return mcm.MatrixToRelation(d, mcm.VarName(2), mcm.VarName(3))
+		}
+		t1IVM := timeIt(cfg.Updates, func() {
+			if err := first.ApplyDelta(mcm.MatName(2), rowDelta()); err != nil {
+				panic(err)
+			}
+		})
+		tRE := timeIt(cfg.Updates, func() {
+			if err := re.ApplyDelta(mcm.MatName(2), rowDelta()); err != nil {
+				panic(err)
+			}
+		})
+		tDF := timeIt(cfg.Updates, func() {
+			i, row := randomRow(rng, n)
+			_, r1 := mcm.RowUpdate(n, i, row)
+			dfivm.ApplyRank1FIVM(r1.U, r1.V)
+		})
+		tD1 := timeIt(cfg.Updates, func() {
+			i, row := randomRow(rng, n)
+			d, _ := mcm.RowUpdate(n, i, row)
+			dfirst.ApplyFirstOrder(d)
+		})
+		tDR := timeIt(cfg.Updates, func() {
+			i, row := randomRow(rng, n)
+			d, _ := mcm.RowUpdate(n, i, row)
+			dre.ApplyReEval(d)
+		})
+		t.AddRow(n, fmtDur(tFIVM), fmtDur(t1IVM), fmtDur(tRE), fmtDur(tDF), fmtDur(tD1), fmtDur(tDR))
+	}
+	return t
+}
+
+// Fig6Right regenerates Figure 6 (right): average time per rank-r update to
+// A2 for growing tensor rank r, against re-evaluation (whose cost is
+// rank-independent). Expected shape: F-IVM grows linearly in r and crosses
+// re-evaluation at some rank (paper: r ≈ 96 at n = 4096).
+func Fig6Right(cfg Fig6Config) *Table {
+	n := cfg.N
+	t := &Table{
+		Title:  "Figure 6 (right): matrix chain, rank-r updates to A2",
+		Note:   "seconds per rank-r update; RE-EVAL is rank-independent",
+		Header: []string{"rank", "F-IVM", "RE-EVAL", "dense F-IVM", "dense RE-EVAL"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ms := []*matrix.Dense{matrix.Random(n, n, rng), matrix.Random(n, n, rng), matrix.Random(n, n, rng)}
+
+	for _, r := range cfg.Ranks {
+		hc, err := mcm.NewHashChain(3, 2, ms)
+		if err != nil {
+			panic(err)
+		}
+		re := hashChainBaseline("RE-EVAL", ms)
+		dfivm, _ := mcm.NewDenseChain(2, ms)
+		dre, _ := mcm.NewDenseChain(2, ms)
+
+		tF := timeIt(cfg.Updates, func() {
+			_, terms := matrix.RandomRank(n, n, r, rng)
+			if err := hc.ApplyRankR(terms); err != nil {
+				panic(err)
+			}
+		})
+		tR := timeIt(cfg.Updates, func() {
+			d, _ := matrix.RandomRank(n, n, r, rng)
+			if err := re.ApplyDelta(mcm.MatName(2), mcm.MatrixToRelation(d, mcm.VarName(2), mcm.VarName(3))); err != nil {
+				panic(err)
+			}
+		})
+		tDF := timeIt(cfg.Updates, func() {
+			_, terms := matrix.RandomRank(n, n, r, rng)
+			dfivm.ApplyRankRFIVM(terms)
+		})
+		tDR := timeIt(cfg.Updates, func() {
+			d, _ := matrix.RandomRank(n, n, r, rng)
+			dre.ApplyReEval(d)
+		})
+		t.AddRow(r, fmtDur(tF), fmtDur(tR), fmtDur(tDF), fmtDur(tDR))
+	}
+	return t
+}

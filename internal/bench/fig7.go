@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fivm/internal/datasets"
+)
+
+// Fig7Config scales the cofactor maintenance experiments (Figure 7).
+type Fig7Config struct {
+	Dataset   string // "retailer" or "housing"
+	BatchSize int
+	// Timeout bounds each strategy's run (the paper's one-hour limit,
+	// scaled down); the scalar per-aggregate strategies are expected to
+	// hit it.
+	Timeout  time.Duration
+	Retailer datasets.RetailerConfig
+	Housing  datasets.HousingConfig
+	// IncludeScalar adds the per-aggregate DBT and 1-IVM competitors
+	// (very slow by design — that is the result).
+	IncludeScalar bool
+}
+
+// DefaultFig7 is a laptop-scale configuration.
+func DefaultFig7(dataset string) Fig7Config {
+	return Fig7Config{
+		Dataset:       dataset,
+		BatchSize:     1000,
+		Timeout:       5 * time.Second,
+		Retailer:      datasets.DefaultRetailer(),
+		Housing:       datasets.DefaultHousing(),
+		IncludeScalar: true,
+	}
+}
+
+func fig7Dataset(cfg Fig7Config) *datasets.Dataset {
+	if cfg.Dataset == "housing" {
+		return datasets.GenHousing(cfg.Housing)
+	}
+	return datasets.GenRetailer(cfg.Retailer)
+}
+
+// Fig7 regenerates Figure 7: incremental maintenance of the cofactor matrix
+// under batched updates to all relations, plus the ONE variants (updates to
+// the largest relation only, all others preloaded). Expected shape: F-IVM
+// has the highest throughput and lowest memory; SQL-OPT trails by a
+// constant factor; DBT-RING pays for extra views; the scalar-payload DBT
+// and 1-IVM are orders of magnitude slower (timing out on scaled streams
+// just as they time out at one hour in the paper).
+func Fig7(cfg Fig7Config) []*Table {
+	ds := fig7Dataset(cfg)
+	cs := newCofactorStrategies(ds.Query)
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
+	oneStream := datasets.SingleRelationStream(ds, ds.Largest, cfg.BatchSize)
+	opts := RunOptions{Timeout: cfg.Timeout}
+
+	var results []RunResult
+	run := func(name string, l Loader, s []datasets.Batch) {
+		results = append(results, RunStream(name, l, s, opts))
+	}
+
+	// F-IVM: one view tree, cofactor-ring payloads.
+	{
+		m, err := cs.FIVM(ds.NewOrder(), nil)
+		if err != nil {
+			panic(err)
+		}
+		must(m.Init())
+		run("F-IVM", Adapt(m, tripleDelta(ds.Query)), stream)
+	}
+	// SQL-OPT: same views, degree-indexed aggregate encoding.
+	{
+		m, err := cs.SQLOPT(ds.NewOrder(), nil)
+		if err != nil {
+			panic(err)
+		}
+		must(m.Init())
+		run("SQL-OPT", Adapt(m, degMapDelta(ds.Query)), stream)
+	}
+	// DBT-RING: recursive hierarchies, cofactor-ring payloads.
+	{
+		m, err := cs.DBTRing(nil)
+		if err != nil {
+			panic(err)
+		}
+		must(m.Init())
+		run("DBT-RING", Adapt(m, tripleDelta(ds.Query)), stream)
+	}
+	if cfg.IncludeScalar {
+		// DBT: one scalar hierarchy per aggregate, no sharing.
+		m, err := cs.DBTScalar(nil)
+		if err != nil {
+			panic(err)
+		}
+		must(m.Init())
+		run("DBT", Adapt[float64](m, floatDelta(ds.Query)), stream)
+
+		// 1-IVM: one delta query per aggregate per update.
+		fo, err := cs.FirstOrderScalar(ds.NewOrder())
+		if err != nil {
+			panic(err)
+		}
+		must(fo.Init())
+		run("1-IVM", Adapt[float64](fo, floatDelta(ds.Query)), stream)
+	}
+	// ONE variants: updates to the largest relation only.
+	skip := map[string]bool{ds.Largest: true}
+	{
+		m, err := cs.FIVM(ds.NewOrder(), []string{ds.Largest})
+		if err != nil {
+			panic(err)
+		}
+		must(preload(m, ds, tripleDelta(ds.Query), skip))
+		run("F-IVM ONE", Adapt(m, tripleDelta(ds.Query)), oneStream)
+	}
+	{
+		m, err := cs.SQLOPT(ds.NewOrder(), []string{ds.Largest})
+		if err != nil {
+			panic(err)
+		}
+		must(preload(m, ds, degMapDelta(ds.Query), skip))
+		run("SQL-OPT ONE", Adapt(m, degMapDelta(ds.Query)), oneStream)
+	}
+	{
+		m, err := cs.DBTRing([]string{ds.Largest})
+		if err != nil {
+			panic(err)
+		}
+		must(preload(m, ds, tripleDelta(ds.Query), skip))
+		run("DBT-RING ONE", Adapt(m, tripleDelta(ds.Query)), oneStream)
+	}
+
+	return fig7Tables(fmt.Sprintf("Figure 7: cofactor maintenance, %s, batches of %d", ds.Name, cfg.BatchSize), results)
+}
+
+// fig7Tables renders a summary plus throughput/memory traces.
+func fig7Tables(title string, results []RunResult) []*Table {
+	sum := &Table{
+		Title:  title,
+		Header: []string{"strategy", "views", "tuples", "elapsed", "throughput", "peak mem", "timed out"},
+	}
+	for _, r := range results {
+		sum.AddRow(r.Name, r.Views, r.Tuples, fmtDur(r.Elapsed.Seconds()), fmtTput(r.Throughput), fmtMem(r.PeakMem), r.TimedOut)
+	}
+
+	trace := &Table{
+		Title:  title + " — throughput per stream fraction",
+		Header: []string{"fraction"},
+	}
+	memTrace := &Table{
+		Title:  title + " — memory per stream fraction",
+		Header: []string{"fraction"},
+	}
+	for _, r := range results {
+		trace.Header = append(trace.Header, r.Name)
+		memTrace.Header = append(memTrace.Header, r.Name)
+	}
+	maxPts := 0
+	for _, r := range results {
+		if len(r.Points) > maxPts {
+			maxPts = len(r.Points)
+		}
+	}
+	for i := 0; i < maxPts; i++ {
+		row := make([]string, 0, len(results)+1)
+		memRow := make([]string, 0, len(results)+1)
+		frac := ""
+		for _, r := range results {
+			if i < len(r.Points) {
+				if frac == "" {
+					frac = fmt.Sprintf("%.1f", r.Points[i].Fraction)
+				}
+				row = append(row, fmtTput(r.Points[i].TuplesSec))
+				memRow = append(memRow, fmtMem(r.Points[i].MemBytes))
+			} else {
+				row = append(row, "-")
+				memRow = append(memRow, "-")
+			}
+		}
+		trace.Rows = append(trace.Rows, append([]string{frac}, row...))
+		memTrace.Rows = append(memTrace.Rows, append([]string{frac}, memRow...))
+	}
+	return []*Table{sum, trace, memTrace}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package bench is the experiment harness: it drives maintenance strategies
+// through synthesized update streams, measures throughput and memory per
+// stream fraction, and regenerates every table and figure of the paper's
+// evaluation (Section 7 and Appendix C). Each FigXXX function returns
+// formatted tables so the CLI and the testing.B benchmarks share one
+// implementation.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fivm/internal/data"
+	"fivm/internal/datasets"
+	"fivm/internal/ivm"
+)
+
+// Point is one throughput/memory sample at a stream fraction.
+type Point struct {
+	Fraction   float64
+	TuplesSec  float64
+	MemBytes   int
+	ElapsedSec float64
+}
+
+// RunResult summarizes one strategy's run over a stream.
+type RunResult struct {
+	Name       string
+	Points     []Point
+	Tuples     int
+	Elapsed    time.Duration
+	Throughput float64 // tuples/sec over the processed prefix
+	Views      int
+	PeakMem    int
+	TimedOut   bool
+}
+
+// RunOptions configures a stream run.
+type RunOptions struct {
+	// Samples is the number of evenly spaced measurement points (default 10).
+	Samples int
+	// Timeout aborts the run (strategy keeps its partial stats); zero means
+	// no timeout. The paper uses a one-hour timeout; scaled-down runs use
+	// seconds.
+	Timeout time.Duration
+}
+
+// Loader abstracts the subset of a maintenance strategy the harness drives.
+// ivm.Maintainer[P] satisfies it for every payload type via maintainerAdapter.
+type Loader interface {
+	ApplyBatch(b datasets.Batch) error
+	ViewCount() int
+	MemoryBytes() int
+}
+
+// maintainerAdapter adapts an ivm.Maintainer[P] plus a payload constructor
+// into a Loader.
+type maintainerAdapter[P any] struct {
+	m       ivm.Maintainer[P]
+	toDelta func(b datasets.Batch) *data.Relation[P]
+}
+
+func (a maintainerAdapter[P]) ApplyBatch(b datasets.Batch) error {
+	return a.m.ApplyDelta(b.Rel, a.toDelta(b))
+}
+func (a maintainerAdapter[P]) ViewCount() int   { return a.m.ViewCount() }
+func (a maintainerAdapter[P]) MemoryBytes() int { return a.m.MemoryBytes() }
+
+// Adapt wraps a maintainer and a delta builder into a Loader.
+func Adapt[P any](m ivm.Maintainer[P], toDelta func(b datasets.Batch) *data.Relation[P]) Loader {
+	return maintainerAdapter[P]{m: m, toDelta: toDelta}
+}
+
+// RunStream drives the loader through the stream, sampling throughput and
+// memory at evenly spaced fractions.
+func RunStream(name string, l Loader, stream []datasets.Batch, opts RunOptions) RunResult {
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = 10
+	}
+	total := 0
+	for _, b := range stream {
+		total += len(b.Tuples)
+	}
+	res := RunResult{Name: name}
+	if total == 0 {
+		res.Views = l.ViewCount()
+		return res
+	}
+
+	start := time.Now()
+	processed := 0
+	nextSample := total / samples
+	if nextSample == 0 {
+		nextSample = 1
+	}
+	threshold := nextSample
+	for _, b := range stream {
+		if err := l.ApplyBatch(b); err != nil {
+			panic(fmt.Sprintf("bench: %s: %v", name, err))
+		}
+		processed += len(b.Tuples)
+		if processed >= threshold || processed == total {
+			el := time.Since(start)
+			mem := l.MemoryBytes()
+			if mem > res.PeakMem {
+				res.PeakMem = mem
+			}
+			res.Points = append(res.Points, Point{
+				Fraction:   float64(processed) / float64(total),
+				TuplesSec:  float64(processed) / el.Seconds(),
+				MemBytes:   mem,
+				ElapsedSec: el.Seconds(),
+			})
+			threshold += nextSample
+		}
+		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+			res.TimedOut = true
+			break
+		}
+	}
+	res.Tuples = processed
+	res.Elapsed = time.Since(start)
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.Throughput = float64(processed) / s
+	}
+	res.Views = l.ViewCount()
+	if mem := l.MemoryBytes(); mem > res.PeakMem {
+		res.PeakMem = mem
+	}
+	return res
+}
+
+// fmtMem renders bytes with a binary unit.
+func fmtMem(b int) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// fmtTput renders a throughput figure compactly.
+func fmtTput(t float64) string {
+	switch {
+	case t >= 1e6:
+		return fmt.Sprintf("%.2fM/s", t/1e6)
+	case t >= 1e3:
+		return fmt.Sprintf("%.1fK/s", t/1e3)
+	default:
+		return fmt.Sprintf("%.1f/s", t)
+	}
+}
+
+// fmtDur renders seconds compactly.
+func fmtDur(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	}
+}

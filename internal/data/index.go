@@ -1,0 +1,124 @@
+package data
+
+import "fmt"
+
+// Index is a secondary hash index over a relation: it maps the encoded
+// projection of each key onto an index schema to the set of primary keys
+// sharing that projection. Delta propagation probes sibling views through
+// indexes to enumerate join partners without scanning.
+type Index struct {
+	on      Schema
+	proj    Projector
+	buckets map[string]map[string]struct{}
+}
+
+// NewIndex creates an empty index over the given relation schema, keyed by
+// the on-variables.
+func NewIndex(relSchema, on Schema) *Index {
+	return &Index{
+		on:      on,
+		proj:    MustProjector(relSchema, on),
+		buckets: make(map[string]map[string]struct{}),
+	}
+}
+
+// On returns the index key schema.
+func (ix *Index) On() Schema { return ix.on }
+
+// Add records that primary key pk (whose tuple is t) is present.
+func (ix *Index) Add(pk string, t Tuple) {
+	k := ix.proj.Key(t)
+	b := ix.buckets[k]
+	if b == nil {
+		b = make(map[string]struct{})
+		ix.buckets[k] = b
+	}
+	b[pk] = struct{}{}
+}
+
+// Remove records that primary key pk (whose tuple is t) is gone.
+func (ix *Index) Remove(pk string, t Tuple) {
+	k := ix.proj.Key(t)
+	if b := ix.buckets[k]; b != nil {
+		delete(b, pk)
+		if len(b) == 0 {
+			delete(ix.buckets, k)
+		}
+	}
+}
+
+// Probe returns the primary keys whose projection matches the encoded key.
+// The returned map must not be modified.
+func (ix *Index) Probe(key string) map[string]struct{} { return ix.buckets[key] }
+
+// Len returns the number of distinct index keys.
+func (ix *Index) Len() int { return len(ix.buckets) }
+
+// IndexedRelation wraps a Relation with incrementally maintained secondary
+// indexes. Mutations must go through MergeIndexed (or Rebuild after bulk
+// loads) so the indexes stay consistent.
+type IndexedRelation[P any] struct {
+	*Relation[P]
+	indexes map[string]*Index
+}
+
+// NewIndexedRelation wraps an empty relation.
+func NewIndexedRelation[P any](rel *Relation[P]) *IndexedRelation[P] {
+	return &IndexedRelation[P]{Relation: rel, indexes: make(map[string]*Index)}
+}
+
+// EnsureIndex returns the index on the given variables, creating and
+// populating it from the current contents if needed.
+func (ir *IndexedRelation[P]) EnsureIndex(on Schema) *Index {
+	name := on.String()
+	if ix, ok := ir.indexes[name]; ok {
+		return ix
+	}
+	ix := NewIndex(ir.Schema(), on)
+	for pk, e := range ir.entries {
+		ix.Add(pk, e.Tuple)
+	}
+	ir.indexes[name] = ix
+	return ix
+}
+
+// Lookup returns the index on the given variables, or nil if absent.
+func (ir *IndexedRelation[P]) Lookup(on Schema) *Index {
+	return ir.indexes[on.String()]
+}
+
+// MergeIndexed merges payload p under tuple t and keeps all indexes
+// consistent with key appearance and disappearance.
+func (ir *IndexedRelation[P]) MergeIndexed(t Tuple, p P) {
+	key := t.Key()
+	_, existed := ir.entries[key]
+	ir.MergeKey(key, t, p)
+	_, exists := ir.entries[key]
+	switch {
+	case !existed && exists:
+		for _, ix := range ir.indexes {
+			ix.Add(key, t)
+		}
+	case existed && !exists:
+		for _, ix := range ir.indexes {
+			ix.Remove(key, t)
+		}
+	}
+}
+
+// MergeAllIndexed merges every entry of o, maintaining indexes.
+func (ir *IndexedRelation[P]) MergeAllIndexed(o *Relation[P]) {
+	if !ir.Schema().Equal(o.Schema()) && !ir.Schema().SameSet(o.Schema()) {
+		panic(fmt.Sprintf("data: merge of incompatible schemas %v and %v", ir.Schema(), o.Schema()))
+	}
+	if ir.Schema().Equal(o.Schema()) {
+		for _, e := range o.entries {
+			ir.MergeIndexed(e.Tuple, e.Payload)
+		}
+		return
+	}
+	proj := MustProjector(o.Schema(), ir.Schema())
+	for _, e := range o.entries {
+		ir.MergeIndexed(proj.Apply(e.Tuple), e.Payload)
+	}
+}

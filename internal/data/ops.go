@@ -1,0 +1,130 @@
+package data
+
+import "fmt"
+
+// LiftFunc maps a value of a named variable into the payload ring: the
+// paper's lifting functions g_X : Dom(X) -> D. Marginalizing a variable X
+// multiplies each payload by g_X applied to the key's X-value before
+// aggregating X away.
+type LiftFunc[P any] func(variable string, v Value) P
+
+// Union returns a ⊎ b, the key-wise payload sum. The schemas must contain
+// the same variables; the result uses a's variable order.
+func Union[P any](a, b *Relation[P]) *Relation[P] {
+	if !a.schema.SameSet(b.schema) {
+		panic(fmt.Sprintf("data: union of incompatible schemas %v and %v", a.schema, b.schema))
+	}
+	out := a.Clone()
+	proj := MustProjector(b.schema, a.schema)
+	for _, e := range b.entries {
+		out.Merge(proj.Apply(e.Tuple), e.Payload)
+	}
+	return out
+}
+
+// Join returns the natural join a ⊗ b: for every pair of tuples agreeing on
+// the shared variables, the concatenated key maps to the payload product
+// (a's payload on the left). The result schema is a.schema followed by b's
+// extra variables.
+func Join[P any](a, b *Relation[P]) *Relation[P] {
+	common := a.schema.Intersect(b.schema)
+	outSchema := a.schema.Union(b.schema)
+	out := NewRelation(a.ring, outSchema)
+
+	// Build a hash index over b on the shared variables, then probe with a.
+	// Payload order must stay a*b for non-commutative rings, so the build
+	// side is always b.
+	extra := b.schema.Minus(common)
+	bCommon := MustProjector(b.schema, common)
+	bExtra := MustProjector(b.schema, extra)
+	type bucketEntry struct {
+		extra   Tuple
+		payload P
+	}
+	buckets := make(map[string][]bucketEntry, len(b.entries))
+	for _, e := range b.entries {
+		k := bCommon.Key(e.Tuple)
+		buckets[k] = append(buckets[k], bucketEntry{extra: bExtra.Apply(e.Tuple), payload: e.Payload})
+	}
+
+	aCommon := MustProjector(a.schema, common)
+	for _, e := range a.entries {
+		matches := buckets[aCommon.Key(e.Tuple)]
+		for _, m := range matches {
+			out.Merge(Concat(e.Tuple, m.extra), a.ring.Mul(e.Payload, m.payload))
+		}
+	}
+	return out
+}
+
+// JoinAll folds Join over the relations left to right. It panics on an
+// empty argument list since the result schema would be undefined.
+func JoinAll[P any](rels ...*Relation[P]) *Relation[P] {
+	if len(rels) == 0 {
+		panic("data: JoinAll of no relations")
+	}
+	out := rels[0]
+	for _, r := range rels[1:] {
+		out = Join(out, r)
+	}
+	return out
+}
+
+// Marginalize returns ⊕_X r: payloads are multiplied by the lifting of the
+// X-value and summed per remaining key. The result schema is r's schema
+// without X.
+func Marginalize[P any](r *Relation[P], x string, lift LiftFunc[P]) *Relation[P] {
+	return MarginalizeVars(r, Schema{x}, lift)
+}
+
+// MarginalizeVars marginalizes several variables at once, applying the
+// lifting function of each: ⊕_{X1} ... ⊕_{Xk} r. Marginalizing multiple
+// variables in one pass implements the paper's composition of long view
+// chains into a single view.
+func MarginalizeVars[P any](r *Relation[P], vars Schema, lift LiftFunc[P]) *Relation[P] {
+	for _, x := range vars {
+		if !r.schema.Contains(x) {
+			panic(fmt.Sprintf("data: marginalized variable %q not in schema %v", x, r.schema))
+		}
+	}
+	outSchema := r.schema.Minus(vars)
+	out := NewRelation(r.ring, outSchema)
+	proj := MustProjector(r.schema, outSchema)
+	idx := make([]int, len(vars))
+	for i, x := range vars {
+		idx[i] = r.schema.IndexOf(x)
+	}
+	for _, e := range r.entries {
+		p := e.Payload
+		// Combine the liftings first: they are small ring elements, while
+		// the payload may be large, so it joins the product once.
+		if len(vars) > 0 {
+			lp := lift(vars[0], e.Tuple[idx[0]])
+			for i, x := range vars[1:] {
+				lp = r.ring.Mul(lp, lift(x, e.Tuple[idx[i+1]]))
+			}
+			p = r.ring.Mul(p, lp)
+		}
+		out.Merge(proj.Apply(e.Tuple), p)
+	}
+	return out
+}
+
+// Project returns the relation keyed by the target schema with payloads of
+// dropped variables summed (no lifting): ⊕ with the identity lifting.
+func Project[P any](r *Relation[P], target Schema) *Relation[P] {
+	out := NewRelation(r.ring, target)
+	proj := MustProjector(r.schema, target)
+	for _, e := range r.entries {
+		out.Merge(proj.Apply(e.Tuple), e.Payload)
+	}
+	return out
+}
+
+// LiftOne returns a lifting that maps every value of every variable to the
+// ring's multiplicative identity; marginalizing with it computes plain
+// aggregation (COUNT-style) over the payloads.
+func LiftOne[P any](r interface{ One() P }) LiftFunc[P] {
+	one := r.One()
+	return func(string, Value) P { return one }
+}

@@ -1,0 +1,232 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fivm/internal/ring"
+)
+
+// Entry is one key-payload pair of a relation.
+type Entry[P any] struct {
+	Tuple   Tuple
+	Payload P
+}
+
+// Relation is a finite-support function from tuples over a schema to
+// payloads in a ring D: the paper's relations R : Dom(S) -> D. Keys with
+// payload 0 are not stored, so Len is the paper's |R|.
+type Relation[P any] struct {
+	schema  Schema
+	ring    ring.Ring[P]
+	entries map[string]Entry[P]
+}
+
+// NewRelation creates an empty relation over the given ring and schema.
+func NewRelation[P any](r ring.Ring[P], schema Schema) *Relation[P] {
+	return &Relation[P]{schema: schema, ring: r, entries: make(map[string]Entry[P])}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation[P]) Schema() Schema { return r.schema }
+
+// Ring returns the relation's payload ring.
+func (r *Relation[P]) Ring() ring.Ring[P] { return r.ring }
+
+// Len returns the number of keys with non-zero payloads.
+func (r *Relation[P]) Len() int { return len(r.entries) }
+
+// Get returns the payload of tuple t and whether it is non-zero.
+func (r *Relation[P]) Get(t Tuple) (P, bool) {
+	e, ok := r.entries[t.Key()]
+	if !ok {
+		var zero P
+		return zero, false
+	}
+	return e.Payload, true
+}
+
+// GetKey returns the payload stored under an encoded key.
+func (r *Relation[P]) GetKey(key string) (P, bool) {
+	e, ok := r.entries[key]
+	if !ok {
+		var zero P
+		return zero, false
+	}
+	return e.Payload, true
+}
+
+// EntryKey returns the full entry stored under an encoded key.
+func (r *Relation[P]) EntryKey(key string) (Entry[P], bool) {
+	e, ok := r.entries[key]
+	return e, ok
+}
+
+// Contains reports whether tuple t has a non-zero payload.
+func (r *Relation[P]) Contains(t Tuple) bool {
+	_, ok := r.entries[t.Key()]
+	return ok
+}
+
+// ContainsKey reports whether the encoded key has a non-zero payload.
+func (r *Relation[P]) ContainsKey(key string) bool {
+	_, ok := r.entries[key]
+	return ok
+}
+
+// Set assigns payload p to tuple t, deleting the key if p is zero.
+func (r *Relation[P]) Set(t Tuple, p P) {
+	key := t.Key()
+	if r.ring.IsZero(p) {
+		delete(r.entries, key)
+		return
+	}
+	r.entries[key] = Entry[P]{Tuple: t, Payload: p}
+}
+
+// Merge adds p to the payload of tuple t (the pointwise union operator ⊎
+// applied to a single key), deleting the key if the sum vanishes. It returns
+// the new payload.
+func (r *Relation[P]) Merge(t Tuple, p P) P {
+	key := t.Key()
+	if e, ok := r.entries[key]; ok {
+		s := r.ring.Add(e.Payload, p)
+		if r.ring.IsZero(s) {
+			delete(r.entries, key)
+			return s
+		}
+		r.entries[key] = Entry[P]{Tuple: e.Tuple, Payload: s}
+		return s
+	}
+	if !r.ring.IsZero(p) {
+		r.entries[key] = Entry[P]{Tuple: t, Payload: p}
+	}
+	return p
+}
+
+// MergeKey is Merge for a pre-encoded key.
+func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
+	if e, ok := r.entries[key]; ok {
+		s := r.ring.Add(e.Payload, p)
+		if r.ring.IsZero(s) {
+			delete(r.entries, key)
+			return
+		}
+		r.entries[key] = Entry[P]{Tuple: e.Tuple, Payload: s}
+		return
+	}
+	if !r.ring.IsZero(p) {
+		r.entries[key] = Entry[P]{Tuple: t, Payload: p}
+	}
+}
+
+// MergeAll merges every entry of o into r: r := r ⊎ o. The relations must
+// share a schema (same variables in the same order).
+func (r *Relation[P]) MergeAll(o *Relation[P]) {
+	for key, e := range o.entries {
+		r.MergeKey(key, e.Tuple, e.Payload)
+	}
+}
+
+// Iterate calls f for each entry until f returns false. Iteration order is
+// unspecified.
+func (r *Relation[P]) Iterate(f func(t Tuple, p P) bool) {
+	for _, e := range r.entries {
+		if !f(e.Tuple, e.Payload) {
+			return
+		}
+	}
+}
+
+// Entries returns the entries in unspecified order.
+func (r *Relation[P]) Entries() []Entry[P] {
+	out := make([]Entry[P], 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// SortedEntries returns the entries ordered by encoded key, for
+// deterministic output in tests and tools.
+func (r *Relation[P]) SortedEntries() []Entry[P] {
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Entry[P], 0, len(keys))
+	for _, k := range keys {
+		out = append(out, r.entries[k])
+	}
+	return out
+}
+
+// Clone returns a copy sharing payloads (payloads are immutable by the ring
+// contract) but no map structure.
+func (r *Relation[P]) Clone() *Relation[P] {
+	out := &Relation[P]{schema: r.schema, ring: r.ring, entries: make(map[string]Entry[P], len(r.entries))}
+	for k, e := range r.entries {
+		out.entries[k] = e
+	}
+	return out
+}
+
+// Negate returns a relation mapping every key of r to the additive inverse
+// of its payload. A deletion of the tuples of r is expressed as merging
+// r.Negate().
+func (r *Relation[P]) Negate() *Relation[P] {
+	out := NewRelation(r.ring, r.schema)
+	for k, e := range r.entries {
+		out.entries[k] = Entry[P]{Tuple: e.Tuple, Payload: r.ring.Neg(e.Payload)}
+	}
+	return out
+}
+
+// Equal reports whether two relations have the same schema variables and
+// identical key support, comparing payloads with eq.
+func (r *Relation[P]) Equal(o *Relation[P], eq func(a, b P) bool) bool {
+	if !r.schema.SameSet(o.schema) || len(r.entries) != len(o.entries) {
+		return false
+	}
+	proj := MustProjector(o.schema, r.schema)
+	for _, e := range o.entries {
+		p, ok := r.entries[proj.Key(e.Tuple)]
+		if !ok || !eq(p.Payload, e.Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation's sorted contents for debugging.
+func (r *Relation[P]) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v{", r.schema)
+	for i, e := range r.SortedEntries() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%v->%v", e.Tuple, e.Payload)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// FromEntries builds a relation from tuple/payload pairs, merging duplicate
+// keys.
+func FromEntries[P any](r ring.Ring[P], schema Schema, entries ...Entry[P]) *Relation[P] {
+	rel := NewRelation(r, schema)
+	for _, e := range entries {
+		rel.Merge(e.Tuple, e.Payload)
+	}
+	return rel
+}
+
+// Singleton builds a relation holding one tuple with the given payload.
+func Singleton[P any](r ring.Ring[P], schema Schema, t Tuple, p P) *Relation[P] {
+	rel := NewRelation(r, schema)
+	rel.Set(t, p)
+	return rel
+}

@@ -1,0 +1,154 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"fivm/internal/data"
+	"fivm/internal/query"
+	"fivm/internal/vorder"
+)
+
+// Retailer schema attribute lists (43 attributes in total, joined on locn,
+// dateid, ksn, and zip as in the paper's snowflake).
+var (
+	retInventory = data.NewSchema("locn", "dateid", "ksn", "inventoryunits")
+	retItem      = data.NewSchema("ksn", "subcategory", "category", "categoryCluster", "prize")
+	retWeather   = data.NewSchema("locn", "dateid", "rain", "snow", "maxtemp", "mintemp", "meanwind", "thunder")
+	retLocation  = data.NewSchema("locn", "zip", "rgn_cd", "clim_zn_nbr", "tot_area_sq_ft",
+		"sell_area_sq_ft", "avghhi", "supertargetdistance", "supertargetdrivetime",
+		"targetdistance", "targetdrivetime", "walmartdistance", "walmartdrivetime",
+		"walmartsupercenterdistance", "walmartsupercenterdrivetime")
+	retCensus = data.NewSchema("zip", "population", "white", "asian", "pacific", "blackafrican",
+		"medianage", "occupiedhouseunits", "houseunits", "families", "households", "husbwife",
+		"males", "females", "householdschildren", "hispanic")
+)
+
+// RetailerConfig scales the synthetic Retailer dataset.
+type RetailerConfig struct {
+	Locations int // number of stores
+	Dates     int // number of dates
+	Items     int // number of products (ksn)
+	// ItemsPerLocDate is the expected number of inventory records per
+	// (location, date) pair; Inventory dominates the dataset as in the
+	// original (84M records vs thousands in the dimensions).
+	ItemsPerLocDate int
+	Seed            int64
+}
+
+// DefaultRetailer is a laptop-scale configuration preserving the original's
+// shape: Inventory carries well over 90% of the tuples.
+func DefaultRetailer() RetailerConfig {
+	return RetailerConfig{Locations: 20, Dates: 60, Items: 100, ItemsPerLocDate: 25, Seed: 1}
+}
+
+// RetailerQuery returns the natural join query of the five relations with
+// the given free variables.
+func RetailerQuery(free ...string) query.Query {
+	return query.MustNew("retailer", data.Schema(free),
+		query.RelDef{Name: "Inventory", Schema: retInventory},
+		query.RelDef{Name: "Item", Schema: retItem},
+		query.RelDef{Name: "Weather", Schema: retWeather},
+		query.RelDef{Name: "Location", Schema: retLocation},
+		query.RelDef{Name: "Census", Schema: retCensus},
+	)
+}
+
+// RetailerOrder builds the paper's variable order: the partial order on
+// join variables is locn − {dateid − {ksn}, zip}, with each relation's
+// local attributes forming a chain below its deepest join variable (so
+// chain composition yields the paper's 9 views: five per-relation views,
+// three intermediate, one root).
+func RetailerOrder() *vorder.Order {
+	chainOf := func(vars data.Schema, below *vorder.Node) *vorder.Node {
+		// Build a downward chain of the vars, returning the top node.
+		var top, cur *vorder.Node
+		for _, v := range vars {
+			n := vorder.V(v)
+			if cur == nil {
+				top = n
+			} else {
+				cur.Children = append(cur.Children, n)
+			}
+			cur = n
+		}
+		if below != nil {
+			cur.Children = append(cur.Children, below)
+		}
+		return top
+	}
+
+	ksn := vorder.V("ksn",
+		chainOf(data.NewSchema("inventoryunits"), nil),
+		chainOf(retItem.Minus(data.NewSchema("ksn")), nil),
+	)
+	dateid := vorder.V("dateid",
+		ksn,
+		chainOf(retWeather.Minus(data.NewSchema("locn", "dateid")), nil),
+	)
+	zip := vorder.V("zip",
+		chainOf(retLocation.Minus(data.NewSchema("locn", "zip")), nil),
+		chainOf(retCensus.Minus(data.NewSchema("zip")), nil),
+	)
+	root := vorder.V("locn", dateid, zip)
+	return vorder.MustNew(root)
+}
+
+// GenRetailer synthesizes the dataset.
+func GenRetailer(cfg RetailerConfig) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{
+		Name:     "retailer",
+		Query:    RetailerQuery(),
+		NewOrder: RetailerOrder,
+		Tuples:   make(map[string][]data.Tuple),
+		Largest:  "Inventory",
+	}
+
+	// Dimension hierarchies. One zip per few locations, as in a real
+	// store/zip mapping.
+	zips := cfg.Locations/2 + 1
+	for l := 0; l < cfg.Locations; l++ {
+		t := data.Tuple{
+			data.Int(int64(l)), data.Int(int64(l % zips)),
+			ri(rng, 10), ri(rng, 8), ri(rng, 100000), ri(rng, 50000), ri(rng, 90000),
+			ri(rng, 40), ri(rng, 60), ri(rng, 40), ri(rng, 60), ri(rng, 40), ri(rng, 60),
+			ri(rng, 40), ri(rng, 60),
+		}
+		d.Tuples["Location"] = append(d.Tuples["Location"], t)
+	}
+	for z := 0; z < zips; z++ {
+		t := make(data.Tuple, len(retCensus))
+		t[0] = data.Int(int64(z))
+		for i := 1; i < len(t); i++ {
+			t[i] = ri(rng, 10000)
+		}
+		d.Tuples["Census"] = append(d.Tuples["Census"], t)
+	}
+	for k := 0; k < cfg.Items; k++ {
+		t := data.Tuple{
+			data.Int(int64(k)), ri(rng, 20), ri(rng, 8), ri(rng, 4), ri(rng, 500),
+		}
+		d.Tuples["Item"] = append(d.Tuples["Item"], t)
+	}
+	for l := 0; l < cfg.Locations; l++ {
+		for dt := 0; dt < cfg.Dates; dt++ {
+			t := data.Tuple{
+				data.Int(int64(l)), data.Int(int64(dt)),
+				ri(rng, 2), ri(rng, 2), ri(rng, 40), ri(rng, 20), ri(rng, 30), ri(rng, 2),
+			}
+			d.Tuples["Weather"] = append(d.Tuples["Weather"], t)
+		}
+	}
+	// Inventory: the fact relation, by far the largest.
+	for l := 0; l < cfg.Locations; l++ {
+		for dt := 0; dt < cfg.Dates; dt++ {
+			for i := 0; i < cfg.ItemsPerLocDate; i++ {
+				t := data.Tuple{
+					data.Int(int64(l)), data.Int(int64(dt)), ri(rng, cfg.Items), ri(rng, 200),
+				}
+				d.Tuples["Inventory"] = append(d.Tuples["Inventory"], t)
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,65 @@
+package ivm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fivm/internal/viewtree"
+)
+
+// Describe renders the engine's maintenance schema: the view tree with
+// materialization marks, and for each updatable relation the compiled
+// leaf-to-root delta plan (which sibling views each step probes and which
+// variables it marginalizes) — the textual form of the paper's Figure 4
+// delta trees.
+func (e *Engine[P]) Describe() string {
+	var b strings.Builder
+	b.WriteString("view tree:\n")
+	var rec func(n *viewtree.Node, depth int)
+	rec = func(n *viewtree.Node, depth int) {
+		mark := " "
+		if e.mat[n] {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "  %s%s%s", strings.Repeat("  ", depth), mark, n.Name())
+		if len(n.Marg) > 0 {
+			fmt.Fprintf(&b, " ⊕%v", n.Marg)
+		}
+		b.WriteString("\n")
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(e.root, 0)
+	b.WriteString("  (* = materialized)\n")
+
+	var leaves []*viewtree.Node
+	for leaf := range e.plans {
+		leaves = append(leaves, leaf)
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Name() < leaves[j].Name() })
+	for _, leaf := range leaves {
+		plan := e.plans[leaf]
+		fmt.Fprintf(&b, "delta plan for %s:\n", leaf.Name())
+		for _, st := range plan.steps {
+			fmt.Fprintf(&b, "  δ%s :=", st.node.Name())
+			for _, sib := range st.siblings {
+				op := "probe"
+				if sib.full {
+					op = "lookup"
+				}
+				fmt.Fprintf(&b, " %s %s on %v;", op, sib.node.Name(), sib.common)
+			}
+			if len(st.margVars) > 0 {
+				names := make([]string, len(st.margVars))
+				for i, mv := range st.margVars {
+					names[i] = mv.name
+				}
+				fmt.Fprintf(&b, " ⊕[%s]", strings.Join(names, ","))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

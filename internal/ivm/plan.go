@@ -1,0 +1,206 @@
+package ivm
+
+import (
+	"fmt"
+
+	"fivm/internal/data"
+	"fivm/internal/viewtree"
+)
+
+// deltaPlan is the static schedule for propagating a delta from one leaf to
+// the root (the delta tree of Figure 4, compiled ahead of time): one step
+// per ancestor view, each listing the sibling views to probe, the variables
+// to marginalize, and the projection onto the ancestor's keys.
+type deltaPlan[P any] struct {
+	leaf  *viewtree.Node
+	steps []*planStep[P]
+}
+
+type planStep[P any] struct {
+	node      *viewtree.Node
+	siblings  []*planSibling
+	accSchema data.Schema
+	margVars  []margVar
+	outProj   data.Projector
+}
+
+type margVar struct {
+	name string
+	idx  int
+}
+
+type planSibling struct {
+	node *viewtree.Node
+	// common is the probe key: the sibling variables bound by the
+	// accumulated tuple at this point of the join.
+	common    data.Schema
+	probeProj data.Projector
+	// full marks that common covers the sibling's entire key, so a direct
+	// map lookup replaces an index probe.
+	full bool
+	// extra is the sibling variables appended to the accumulated tuple.
+	extra     data.Schema
+	extraProj data.Projector
+}
+
+// buildPlan compiles the leaf-to-root delta schedule for a leaf.
+func (e *Engine[P]) buildPlan(leaf *viewtree.Node) (*deltaPlan[P], error) {
+	plan := &deltaPlan[P]{leaf: leaf}
+	cur := leaf
+	for node := cur.Parent(); node != nil; node = node.Parent() {
+		st := &planStep[P]{node: node}
+		acc := cur.Keys.Clone()
+
+		// Order siblings greedily by overlap with the accumulated schema,
+		// so each probe binds as many sibling variables as possible.
+		var sibs []*viewtree.Node
+		for _, c := range node.Children {
+			if c != cur {
+				sibs = append(sibs, c)
+			}
+		}
+		for len(sibs) > 0 {
+			best, bestOverlap := 0, -1
+			for i, s := range sibs {
+				if ov := len(s.Keys.Intersect(acc)); ov > bestOverlap {
+					best, bestOverlap = i, ov
+				}
+			}
+			s := sibs[best]
+			sibs = append(sibs[:best], sibs[best+1:]...)
+
+			common := s.Keys.Intersect(acc)
+			ps := &planSibling{
+				node:      s,
+				common:    common,
+				probeProj: data.MustProjector(acc, common),
+				full:      common.SameSet(s.Keys),
+				extra:     s.Keys.Minus(common),
+			}
+			ps.extraProj = data.MustProjector(s.Keys, ps.extra)
+			st.siblings = append(st.siblings, ps)
+			acc = acc.Union(ps.extra)
+		}
+		st.accSchema = acc
+		for _, mv := range node.Marg {
+			i := acc.IndexOf(mv)
+			if i < 0 {
+				return nil, fmt.Errorf("ivm: marginalized variable %q missing from join schema %v at %s", mv, acc, node.Name())
+			}
+			st.margVars = append(st.margVars, margVar{name: mv, idx: i})
+		}
+		var err error
+		st.outProj, err = data.NewProjector(acc, node.Keys)
+		if err != nil {
+			return nil, fmt.Errorf("ivm: %s: %v", node.Name(), err)
+		}
+		plan.steps = append(plan.steps, st)
+		cur = node
+	}
+	return plan, nil
+}
+
+// registerIndexes creates the secondary indexes the plan probes. Sibling
+// views must be materialized; the µ rule guarantees this because the delta
+// path's subtree contains an updatable relation.
+func (p *deltaPlan[P]) registerIndexes(e *Engine[P]) {
+	for _, st := range p.steps {
+		for _, sib := range st.siblings {
+			v := e.views[sib.node]
+			if v == nil {
+				panic(fmt.Sprintf("ivm: sibling view %s of delta path for %s is not materialized", sib.node.Name(), p.leaf.Name()))
+			}
+			if !sib.full {
+				v.EnsureIndex(sib.common)
+			}
+		}
+	}
+}
+
+// run propagates a delta along the plan, merging into every materialized
+// view on the path (including the leaf itself).
+func (p *deltaPlan[P]) run(e *Engine[P], delta *data.Relation[P]) error {
+	if v := e.views[p.leaf]; v != nil {
+		v.MergeAllIndexed(delta)
+	}
+	cur := delta
+	for _, st := range p.steps {
+		next := st.exec(e, cur)
+		if v := e.views[st.node]; v != nil {
+			v.MergeAllIndexed(next)
+		}
+		if next.Len() == 0 {
+			return nil
+		}
+		cur = next
+	}
+	return nil
+}
+
+type workItem[P any] struct {
+	t data.Tuple
+	p P
+}
+
+// exec computes the delta of st.node given the delta of the child it came
+// from: it joins the child delta with the sibling views by index probes,
+// lifts and marginalizes the node's bound variables, and projects onto the
+// node's keys.
+func (st *planStep[P]) exec(e *Engine[P], delta *data.Relation[P]) *data.Relation[P] {
+	items := make([]workItem[P], 0, delta.Len())
+	delta.Iterate(func(t data.Tuple, p P) bool {
+		items = append(items, workItem[P]{t: t, p: p})
+		return true
+	})
+
+	for _, sib := range st.siblings {
+		if len(items) == 0 {
+			break
+		}
+		view := e.views[sib.node]
+		next := items[:0:0]
+		if sib.full {
+			for _, it := range items {
+				if pay, ok := view.GetKey(sib.probeProj.Key(it.t)); ok {
+					next = append(next, workItem[P]{t: it.t, p: e.ring.Mul(it.p, pay)})
+				}
+			}
+		} else {
+			ix := view.EnsureIndex(sib.common)
+			for _, it := range items {
+				for pk := range ix.Probe(sib.probeProj.Key(it.t)) {
+					en, ok := view.EntryKey(pk)
+					if !ok {
+						continue
+					}
+					next = append(next, workItem[P]{
+						t: data.Concat(it.t, sib.extraProj.Apply(en.Tuple)),
+						p: e.ring.Mul(it.p, en.Payload),
+					})
+				}
+			}
+		}
+		items = next
+	}
+
+	out := data.NewRelation(e.ring, st.node.Keys)
+	for _, it := range items {
+		p := it.p
+		// Multiply the liftings together first: lift values are small ring
+		// elements, while the accumulated payload can be large (a wide
+		// cofactor triple or a relational payload), so p joins the product
+		// once instead of once per variable.
+		if len(st.margVars) > 0 {
+			lp := e.lift(st.margVars[0].name, it.t[st.margVars[0].idx])
+			for _, mv := range st.margVars[1:] {
+				lp = e.ring.Mul(lp, e.lift(mv.name, it.t[mv.idx]))
+			}
+			p = e.ring.Mul(p, lp)
+		}
+		if e.opts.PayloadTransform != nil {
+			p = e.opts.PayloadTransform(st.node, p)
+		}
+		out.Merge(st.outProj.Apply(it.t), p)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package ivm
+
+import (
+	"fmt"
+
+	"fivm/internal/data"
+	"fivm/internal/datasets"
+	"fivm/internal/query"
+	"fivm/internal/ring"
+)
+
+// NewTriggers builds the trigger dispatcher for a maintainer. The payload
+// function maps each inserted tuple to its payload (usually the ring's One).
+func NewTriggers[P any](m Maintainer[P], q query.Query, r ring.Ring[P], payload func(rel string, t data.Tuple) P) *TriggerSet[P] {
+	return &TriggerSet[P]{m: m, q: q, ring: r, payload: payload}
+}
+
+// TriggerSet implements the paper's trigger interface: per updatable
+// relation, a procedure that converts incoming tuple batches into ring
+// deltas and drives maintenance, with deletions encoded as additively
+// inverted payloads. It dispatches plain and windowed stream batches.
+type TriggerSet[P any] struct {
+	m       Maintainer[P]
+	q       query.Query
+	ring    ring.Ring[P]
+	payload func(rel string, t data.Tuple) P
+}
+
+// delta builds the ring delta of a batch, negating payloads for deletions.
+func (ts *TriggerSet[P]) delta(rel string, tuples []data.Tuple, negate bool) (*data.Relation[P], error) {
+	rd, ok := ts.q.Rel(rel)
+	if !ok {
+		return nil, fmt.Errorf("ivm: unknown relation %q", rel)
+	}
+	d := data.NewRelation[P](ts.ring, rd.Schema)
+	for _, t := range tuples {
+		p := ts.payload(rel, t)
+		if negate {
+			p = ts.ring.Neg(p)
+		}
+		d.Merge(t, p)
+	}
+	return d, nil
+}
+
+// Insert fires the insert trigger for one relation.
+func (ts *TriggerSet[P]) Insert(rel string, tuples ...data.Tuple) error {
+	d, err := ts.delta(rel, tuples, false)
+	if err != nil {
+		return err
+	}
+	return ts.m.ApplyDelta(rel, d)
+}
+
+// Delete fires the delete trigger for one relation.
+func (ts *TriggerSet[P]) Delete(rel string, tuples ...data.Tuple) error {
+	d, err := ts.delta(rel, tuples, true)
+	if err != nil {
+		return err
+	}
+	return ts.m.ApplyDelta(rel, d)
+}
+
+// ApplyBatch dispatches one plain stream batch (inserts).
+func (ts *TriggerSet[P]) ApplyBatch(b datasets.Batch) error {
+	return ts.Insert(b.Rel, b.Tuples...)
+}
+
+// ApplyWindowed dispatches one windowed batch, negating deletions.
+func (ts *TriggerSet[P]) ApplyWindowed(b datasets.WindowedBatch) error {
+	if b.Delete {
+		return ts.Delete(b.Rel, b.Tuples...)
+	}
+	return ts.Insert(b.Rel, b.Tuples...)
+}
+
+// RunStream applies a whole stream of batches.
+func (ts *TriggerSet[P]) RunStream(stream []datasets.Batch) error {
+	for _, b := range stream {
+		if err := ts.ApplyBatch(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunWindowed applies a whole windowed stream.
+func (ts *TriggerSet[P]) RunWindowed(stream []datasets.WindowedBatch) error {
+	for _, b := range stream {
+		if err := ts.ApplyWindowed(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Maintainer returns the wrapped maintainer.
+func (ts *TriggerSet[P]) Maintainer() Maintainer[P] { return ts.m }

@@ -1,0 +1,74 @@
+package matrix
+
+import "fmt"
+
+// ChainOrder solves the textbook Matrix Chain Multiplication problem
+// (CLRS §15.2, cited by the paper in Section 6.1): given dimensions
+// p[0..n] of a chain of n matrices where A_i is p[i-1]×p[i], it returns the
+// minimal scalar-multiplication cost and the split table for reconstructing
+// the optimal parenthesization. The optimal variable order for the matrix
+// chain query corresponds exactly to this parenthesization.
+func ChainOrder(p []int) (cost int64, split [][]int) {
+	n := len(p) - 1
+	if n < 1 {
+		return 0, nil
+	}
+	dp := make([][]int64, n+1)
+	split = make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int64, n+1)
+		split[i] = make([]int, n+1)
+	}
+	for length := 2; length <= n; length++ {
+		for i := 1; i+length-1 <= n; i++ {
+			j := i + length - 1
+			dp[i][j] = 1 << 62
+			for k := i; k < j; k++ {
+				c := dp[i][k] + dp[k+1][j] + int64(p[i-1])*int64(p[k])*int64(p[j])
+				if c < dp[i][j] {
+					dp[i][j] = c
+					split[i][j] = k
+				}
+			}
+		}
+	}
+	return dp[1][n], split
+}
+
+// MulChain multiplies the chain left to right (the naive order).
+func MulChain(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		panic("matrix: empty chain")
+	}
+	out := ms[0]
+	for _, m := range ms[1:] {
+		out = out.Mul(m)
+	}
+	return out
+}
+
+// MulChainOptimal multiplies the chain in the cost-optimal parenthesization
+// from ChainOrder.
+func MulChainOptimal(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		panic("matrix: empty chain")
+	}
+	p := make([]int, len(ms)+1)
+	p[0] = ms[0].Rows
+	for i, m := range ms {
+		if m.Rows != p[i] {
+			panic(fmt.Sprintf("matrix: chain dimension mismatch at %d", i))
+		}
+		p[i+1] = m.Cols
+	}
+	_, split := ChainOrder(p)
+	var rec func(i, j int) *Dense
+	rec = func(i, j int) *Dense {
+		if i == j {
+			return ms[i-1]
+		}
+		k := split[i][j]
+		return rec(i, k).Mul(rec(k+1, j))
+	}
+	return rec(1, len(ms))
+}

@@ -1,0 +1,84 @@
+package matrix
+
+// RankOne is one term u vᵀ of a low-rank decomposition.
+type RankOne struct {
+	U, V []float64
+}
+
+// Decompose factors an update matrix into a sum of rank-1 terms using
+// pivoted cross (skeleton) decomposition: repeatedly pick the largest
+// remaining element as pivot, emit (column × row / pivot), and subtract. For
+// a matrix of exact rank r it terminates with r terms; maxRank caps the
+// output, and tol stops early once the residual's largest element is at or
+// below tol. This realizes the paper's Section 5 observation that arbitrary
+// updates decompose into sums of rank-1 tensors, each a product of vectors.
+func Decompose(m *Dense, maxRank int, tol float64) []RankOne {
+	res := m.Clone()
+	var out []RankOne
+	for r := 0; r < maxRank; r++ {
+		// Find the pivot: the largest absolute element of the residual.
+		pi, pj, pv := -1, -1, tol
+		for i := 0; i < res.Rows; i++ {
+			row := res.Data[i*res.Cols : (i+1)*res.Cols]
+			for j, v := range row {
+				av := v
+				if av < 0 {
+					av = -av
+				}
+				if av > pv {
+					pi, pj, pv = i, j, av
+				}
+			}
+		}
+		if pi < 0 {
+			break // residual is (near-)zero
+		}
+		pivot := res.At(pi, pj)
+		u := res.Col(pj)
+		v := res.Row(pi)
+		for i := range u {
+			u[i] /= pivot
+		}
+		out = append(out, RankOne{U: u, V: v})
+		// res -= u vᵀ
+		for i, x := range u {
+			if x == 0 {
+				continue
+			}
+			row := res.Data[i*res.Cols : (i+1)*res.Cols]
+			for j, y := range v {
+				row[j] -= x * y
+			}
+		}
+	}
+	return out
+}
+
+// Recompose sums the rank-1 terms back into a dense matrix of the given
+// shape.
+func Recompose(terms []RankOne, rows, cols int) *Dense {
+	out := NewDense(rows, cols)
+	for _, t := range terms {
+		out.AddOuterInPlace(t.U, t.V)
+	}
+	return out
+}
+
+// RandomRank builds a random matrix of exact rank at most r as a sum of r
+// outer products of random vectors — the shape of the paper's rank-r update
+// workload in Figure 6 (right).
+func RandomRank(rows, cols, r int, rng interface{ Float64() float64 }) (*Dense, []RankOne) {
+	terms := make([]RankOne, r)
+	for t := range terms {
+		u := make([]float64, rows)
+		v := make([]float64, cols)
+		for i := range u {
+			u[i] = rng.Float64()*2 - 1
+		}
+		for j := range v {
+			v[j] = rng.Float64()*2 - 1
+		}
+		terms[t] = RankOne{U: u, V: v}
+	}
+	return Recompose(terms, rows, cols), terms
+}

@@ -1,0 +1,245 @@
+// Package matrix is a dense linear-algebra substrate: row-major float64
+// matrices with blocked multiplication, vector operations, the textbook
+// matrix-chain-order dynamic program, and low-rank decomposition of update
+// matrices. It stands in for the paper's Octave/BLAS runtime in the matrix
+// chain experiments (Figure 6): same asymptotics, ordinary constants.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a dense row-major matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense allocates a zero matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Random fills a matrix with uniform values in (-1, 1), as the paper's
+// synthetic matrices.
+func Random(rows, cols int, rng *rand.Rand) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns an independent copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Add returns m + o.
+func (m *Dense) Add(o *Dense) *Dense {
+	m.mustSameShape(o)
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// AddInPlace accumulates o into m.
+func (m *Dense) AddInPlace(o *Dense) {
+	m.mustSameShape(o)
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub returns m - o.
+func (m *Dense) Sub(o *Dense) *Dense {
+	m.mustSameShape(o)
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns c * m.
+func (m *Dense) Scale(c float64) *Dense {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= c
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+const mulBlock = 64
+
+// Mul returns m * o using cache-blocked triple loops (the Octave stand-in's
+// GEMM).
+func (m *Dense) Mul(o *Dense) *Dense {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewDense(m.Rows, o.Cols)
+	for ii := 0; ii < m.Rows; ii += mulBlock {
+		iMax := min(ii+mulBlock, m.Rows)
+		for kk := 0; kk < m.Cols; kk += mulBlock {
+			kMax := min(kk+mulBlock, m.Cols)
+			for jj := 0; jj < o.Cols; jj += mulBlock {
+				jMax := min(jj+mulBlock, o.Cols)
+				for i := ii; i < iMax; i++ {
+					for k := kk; k < kMax; k++ {
+						a := m.Data[i*m.Cols+k]
+						if a == 0 {
+							continue
+						}
+						orow := o.Data[k*o.Cols:]
+						crow := out.Data[i*out.Cols:]
+						for j := jj; j < jMax; j++ {
+							crow[j] += a * orow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * v for a column vector v.
+func (m *Dense) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("matrix: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns vᵀ * m for a row vector v.
+func (m *Dense) VecMul(v []float64) []float64 {
+	if m.Rows != len(v) {
+		panic(fmt.Sprintf("matrix: VecMul shape mismatch %d * %dx%d", len(v), m.Rows, m.Cols))
+	}
+	out := make([]float64, m.Cols)
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, y := range row {
+			out[j] += x * y
+		}
+	}
+	return out
+}
+
+// Outer returns the outer product u vᵀ.
+func Outer(u, v []float64) *Dense {
+	out := NewDense(len(u), len(v))
+	for i, x := range u {
+		if x == 0 {
+			continue
+		}
+		row := out.Data[i*len(v):]
+		for j, y := range v {
+			row[j] = x * y
+		}
+	}
+	return out
+}
+
+// AddOuterInPlace accumulates u vᵀ into m.
+func (m *Dense) AddOuterInPlace(u, v []float64) {
+	if m.Rows != len(u) || m.Cols != len(v) {
+		panic("matrix: AddOuterInPlace shape mismatch")
+	}
+	for i, x := range u {
+		if x == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, y := range v {
+			row[j] += x * y
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func (m *Dense) MaxAbsDiff(o *Dense) float64 {
+	m.mustSameShape(o)
+	best := 0.0
+	for i, v := range m.Data {
+		if d := math.Abs(v - o.Data[i]); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// EqualApprox reports element-wise equality within eps.
+func (m *Dense) EqualApprox(o *Dense, eps float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	return m.MaxAbsDiff(o) <= eps
+}
+
+// Norm returns the Frobenius norm.
+func (m *Dense) Norm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := range out {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+func (m *Dense) mustSameShape(o *Dense) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("matrix: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}

@@ -1,0 +1,87 @@
+package matrix
+
+// strassenCutoff is the dimension below which MulStrassen falls back to the
+// blocked classical multiplication; recursion overhead dominates under it.
+const strassenCutoff = 128
+
+// MulStrassen multiplies square matrices with Strassen's algorithm
+// (O(n^2.8074), the sub-cubic exponent the paper quotes for its dense
+// baselines), padding to the next even dimension at each level and falling
+// back to the blocked classical kernel below a cutoff. Shapes must be
+// square and equal.
+func (m *Dense) MulStrassen(o *Dense) *Dense {
+	if m.Rows != m.Cols || o.Rows != o.Cols || m.Cols != o.Rows {
+		panic("matrix: MulStrassen requires equal square matrices")
+	}
+	return strassen(m, o)
+}
+
+func strassen(a, b *Dense) *Dense {
+	n := a.Rows
+	if n <= strassenCutoff {
+		return a.Mul(b)
+	}
+	if n%2 == 1 {
+		// Pad to even dimension with a zero row/column.
+		ap, bp := pad(a, n+1), pad(b, n+1)
+		return crop(strassen(ap, bp), n)
+	}
+	h := n / 2
+	a11, a12, a21, a22 := quad(a, h)
+	b11, b12, b21, b22 := quad(b, h)
+
+	m1 := strassen(a11.Add(a22), b11.Add(b22))
+	m2 := strassen(a21.Add(a22), b11)
+	m3 := strassen(a11, b12.Sub(b22))
+	m4 := strassen(a22, b21.Sub(b11))
+	m5 := strassen(a11.Add(a12), b22)
+	m6 := strassen(a21.Sub(a11), b11.Add(b12))
+	m7 := strassen(a12.Sub(a22), b21.Add(b22))
+
+	c11 := m1.Add(m4).Sub(m5).Add(m7)
+	c12 := m3.Add(m5)
+	c21 := m2.Add(m4)
+	c22 := m1.Sub(m2).Add(m3).Add(m6)
+
+	out := NewDense(n, n)
+	paste(out, c11, 0, 0)
+	paste(out, c12, 0, h)
+	paste(out, c21, h, 0)
+	paste(out, c22, h, h)
+	return out
+}
+
+func pad(m *Dense, n int) *Dense {
+	out := NewDense(n, n)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*n:i*n+m.Cols], m.Data[i*m.Cols:(i+1)*m.Cols])
+	}
+	return out
+}
+
+func crop(m *Dense, n int) *Dense {
+	out := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*n:(i+1)*n], m.Data[i*m.Cols:i*m.Cols+n])
+	}
+	return out
+}
+
+// quad splits m into four h×h quadrants.
+func quad(m *Dense, h int) (a11, a12, a21, a22 *Dense) {
+	a11, a12, a21, a22 = NewDense(h, h), NewDense(h, h), NewDense(h, h), NewDense(h, h)
+	n := m.Cols
+	for i := 0; i < h; i++ {
+		copy(a11.Data[i*h:(i+1)*h], m.Data[i*n:i*n+h])
+		copy(a12.Data[i*h:(i+1)*h], m.Data[i*n+h:i*n+2*h])
+		copy(a21.Data[i*h:(i+1)*h], m.Data[(i+h)*n:(i+h)*n+h])
+		copy(a22.Data[i*h:(i+1)*h], m.Data[(i+h)*n+h:(i+h)*n+2*h])
+	}
+	return
+}
+
+func paste(dst *Dense, src *Dense, r0, c0 int) {
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Data[(r0+i)*dst.Cols+c0:(r0+i)*dst.Cols+c0+src.Cols], src.Data[i*src.Cols:(i+1)*src.Cols])
+	}
+}

@@ -1,0 +1,106 @@
+package mcm
+
+import (
+	"fmt"
+
+	"fivm/internal/matrix"
+)
+
+// DenseChain maintains A = A1 · A2 · ... · Ak over dense arrays — the
+// Octave stand-in backend of Figure 6 — under updates to one designated
+// matrix. It implements the three strategies the paper compares:
+//
+//   - F-IVM: factored rank-1 propagation in O(k n²) per rank-1 update
+//     (O(n² log k) with the balanced product tree; for the experiments'
+//     3-chains the two coincide),
+//   - 1-IVM: recompute δA = L · δA_u · R with full matrix products, and
+//   - RE-EVAL: recompute the whole chain product.
+type DenseChain struct {
+	Ms        []*matrix.Dense // the k matrices, 1-based conceptually
+	Updatable int             // 1-based index of the updated matrix
+	A         *matrix.Dense   // the maintained product
+}
+
+// NewDenseChain clones the inputs and computes the initial product.
+func NewDenseChain(upd int, ms []*matrix.Dense) (*DenseChain, error) {
+	if upd < 1 || upd > len(ms) {
+		return nil, fmt.Errorf("mcm: updatable index %d out of range", upd)
+	}
+	cp := make([]*matrix.Dense, len(ms))
+	for i, m := range ms {
+		cp[i] = m.Clone()
+	}
+	return &DenseChain{Ms: cp, Updatable: upd, A: matrix.MulChainOptimal(cp...)}, nil
+}
+
+// left returns the product of the matrices before the updated one (nil if
+// none), and right the product after it.
+func (c *DenseChain) left() *matrix.Dense {
+	if c.Updatable == 1 {
+		return nil
+	}
+	return matrix.MulChainOptimal(c.Ms[:c.Updatable-1]...)
+}
+
+func (c *DenseChain) right() *matrix.Dense {
+	if c.Updatable == len(c.Ms) {
+		return nil
+	}
+	return matrix.MulChainOptimal(c.Ms[c.Updatable:]...)
+}
+
+// ApplyRank1FIVM is the factorized strategy: δA = (L·u)(vᵀ·R) computed with
+// matrix-vector products only.
+func (c *DenseChain) ApplyRank1FIVM(u, v []float64) {
+	// Propagate u through the left factors and v through the right ones.
+	u1 := append([]float64(nil), u...)
+	for i := c.Updatable - 2; i >= 0; i-- {
+		u1 = c.Ms[i].MulVec(u1)
+	}
+	v1 := append([]float64(nil), v...)
+	for i := c.Updatable; i < len(c.Ms); i++ {
+		v1 = c.Ms[i].VecMul(v1)
+	}
+	c.A.AddOuterInPlace(u1, v1)
+	c.Ms[c.Updatable-1].AddOuterInPlace(u, v)
+}
+
+// ApplyRankRFIVM processes a rank-r update as r rank-1 propagations.
+func (c *DenseChain) ApplyRankRFIVM(terms []matrix.RankOne) {
+	for _, t := range terms {
+		c.ApplyRank1FIVM(t.U, t.V)
+	}
+}
+
+// ApplyFirstOrder is 1-IVM: δA = L · δ · R with δ materialized, costing a
+// full matrix-matrix multiplication (the paper's one-GEMM strategy; the
+// outer product L·δ for a one-row δ is cheap, the product with R is not).
+func (c *DenseChain) ApplyFirstOrder(delta *matrix.Dense) {
+	d := delta
+	if l := c.left(); l != nil {
+		d = l.Mul(d)
+	}
+	if r := c.right(); r != nil {
+		d = d.Mul(r)
+	}
+	c.A.AddInPlace(d)
+	c.Ms[c.Updatable-1].AddInPlace(delta)
+}
+
+// ApplyReEval is full re-evaluation: merge the update, then recompute the
+// chain product from scratch.
+func (c *DenseChain) ApplyReEval(delta *matrix.Dense) {
+	c.Ms[c.Updatable-1].AddInPlace(delta)
+	c.A = matrix.MulChainOptimal(c.Ms...)
+}
+
+// RowUpdate builds the one-row update matrix (row i set to row) together
+// with its rank-1 factorization e_i ⊗ row.
+func RowUpdate(n, i int, row []float64) (*matrix.Dense, matrix.RankOne) {
+	d := matrix.NewDense(n, n)
+	copy(d.Data[i*n:(i+1)*n], row)
+	u := make([]float64, n)
+	u[i] = 1
+	v := append([]float64(nil), row...)
+	return d, matrix.RankOne{U: u, V: v}
+}

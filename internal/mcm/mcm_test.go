@@ -1,0 +1,183 @@
+package mcm
+
+import (
+	"math/rand"
+	"testing"
+
+	"fivm/internal/matrix"
+)
+
+// TestHashChainMatchesDense checks that the F-IVM hash backend, driven with
+// factored rank-1 updates, tracks the true chain product.
+func TestHashChainMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 8
+	ms := []*matrix.Dense{matrix.Random(n, n, rng), matrix.Random(n, n, rng), matrix.Random(n, n, rng)}
+	hc, err := NewHashChain(3, 2, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := NewDenseChain(2, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hc.ResultMatrix(n, n); !got.EqualApprox(dense.A, 1e-9) {
+		t.Fatalf("initial products differ by %g", got.MaxAbsDiff(dense.A))
+	}
+
+	for step := 0; step < 10; step++ {
+		i := rng.Intn(n)
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()*2 - 1
+		}
+		delta, r1 := RowUpdate(n, i, row)
+		if err := hc.ApplyRank1(r1.U, r1.V); err != nil {
+			t.Fatal(err)
+		}
+		dense.ApplyReEval(delta)
+		if got := hc.ResultMatrix(n, n); !got.EqualApprox(dense.A, 1e-8) {
+			t.Fatalf("step %d: products differ by %g", step, got.MaxAbsDiff(dense.A))
+		}
+	}
+}
+
+// TestDenseStrategiesAgree drives F-IVM, 1-IVM, and RE-EVAL over the dense
+// backend through the same row updates and checks they agree.
+func TestDenseStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 12
+	ms := []*matrix.Dense{matrix.Random(n, n, rng), matrix.Random(n, n, rng), matrix.Random(n, n, rng)}
+	fivm, _ := NewDenseChain(2, ms)
+	first, _ := NewDenseChain(2, ms)
+	re, _ := NewDenseChain(2, ms)
+
+	for step := 0; step < 8; step++ {
+		i := rng.Intn(n)
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()*2 - 1
+		}
+		delta, r1 := RowUpdate(n, i, row)
+		fivm.ApplyRank1FIVM(r1.U, r1.V)
+		first.ApplyFirstOrder(delta)
+		re.ApplyReEval(delta)
+
+		if !fivm.A.EqualApprox(re.A, 1e-8) {
+			t.Fatalf("step %d: F-IVM diff %g", step, fivm.A.MaxAbsDiff(re.A))
+		}
+		if !first.A.EqualApprox(re.A, 1e-8) {
+			t.Fatalf("step %d: 1-IVM diff %g", step, first.A.MaxAbsDiff(re.A))
+		}
+	}
+}
+
+// TestDenseRankR checks rank-r updates: F-IVM's sequence of r rank-1
+// propagations matches re-evaluation with the full update matrix.
+func TestDenseRankR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 10
+	ms := []*matrix.Dense{matrix.Random(n, n, rng), matrix.Random(n, n, rng), matrix.Random(n, n, rng)}
+	fivm, _ := NewDenseChain(2, ms)
+	re, _ := NewDenseChain(2, ms)
+	for _, r := range []int{1, 3, 5} {
+		delta, terms := matrix.RandomRank(n, n, r, rng)
+		fivm.ApplyRankRFIVM(terms)
+		re.ApplyReEval(delta)
+		if !fivm.A.EqualApprox(re.A, 1e-8) {
+			t.Fatalf("rank-%d: diff %g", r, fivm.A.MaxAbsDiff(re.A))
+		}
+	}
+}
+
+// TestLongerChains exercises 4- and 5-matrix chains end to end (Example
+// 6.1 uses 4), updating an interior matrix in each.
+func TestLongerChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 6
+	for _, k := range []int{4, 5} {
+		ms := make([]*matrix.Dense, k)
+		for i := range ms {
+			ms[i] = matrix.Random(n, n, rng)
+		}
+		upd := k / 2
+		hc, err := NewHashChain(k, upd, ms)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		re, _ := NewDenseChain(upd, ms)
+		for step := 0; step < 5; step++ {
+			delta, terms := matrix.RandomRank(n, n, 1, rng)
+			if err := hc.ApplyRank1(terms[0].U, terms[0].V); err != nil {
+				t.Fatal(err)
+			}
+			re.ApplyReEval(delta)
+			if got := hc.ResultMatrix(n, n); !got.EqualApprox(re.A, 1e-7) {
+				t.Fatalf("k=%d step %d: diff %g", k, step, got.MaxAbsDiff(re.A))
+			}
+		}
+	}
+}
+
+// TestHashChainDenseDelta exercises the unfactored (listing) update path.
+func TestHashChainDenseDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 7
+	ms := []*matrix.Dense{matrix.Random(n, n, rng), matrix.Random(n, n, rng), matrix.Random(n, n, rng)}
+	hc, err := NewHashChain(3, 2, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, _ := NewDenseChain(2, ms)
+	delta := matrix.Random(n, n, rng)
+	if err := hc.ApplyDense(delta); err != nil {
+		t.Fatal(err)
+	}
+	re.ApplyReEval(delta)
+	if got := hc.ResultMatrix(n, n); !got.EqualApprox(re.A, 1e-8) {
+		t.Fatalf("dense delta diff %g", got.MaxAbsDiff(re.A))
+	}
+}
+
+// TestChainOrderViewCount checks the engine materializes only the views the
+// paper's analysis requires for updates to the middle matrix: for a 3-chain
+// the root plus the two flanking base relations (Example 6.1's analysis).
+func TestChainOrderViewCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 4
+	ms := []*matrix.Dense{matrix.Random(n, n, rng), matrix.Random(n, n, rng), matrix.Random(n, n, rng)}
+	hc, err := NewHashChain(3, 2, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root + A1 + A3 leaves = 3 materialized views; intermediate views on
+	// A2's path are not stored.
+	if got := hc.Engine().ViewCount(); got != 3 {
+		t.Errorf("ViewCount = %d, want 3", got)
+	}
+}
+
+func TestRowUpdate(t *testing.T) {
+	d, r1 := RowUpdate(4, 2, []float64{1, 2, 3, 4})
+	if d.At(2, 3) != 4 || d.At(0, 0) != 0 {
+		t.Error("delta matrix wrong")
+	}
+	back := matrix.Recompose([]matrix.RankOne{r1}, 4, 4)
+	if !back.EqualApprox(d, 0) {
+		t.Error("rank-1 factorization of row update wrong")
+	}
+}
+
+func TestChainQueryShape(t *testing.T) {
+	q := ChainQuery(4)
+	if len(q.Rels) != 4 {
+		t.Errorf("rels = %d", len(q.Rels))
+	}
+	if !q.Free.SameSet([]string{"X1", "X5"}) {
+		t.Errorf("free = %v", q.Free)
+	}
+	o := ChainOrder(4)
+	if err := o.Prepare(q); err != nil {
+		t.Fatalf("ChainOrder invalid: %v", err)
+	}
+}

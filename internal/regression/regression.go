@@ -1,0 +1,271 @@
+// Package regression implements in-database learning of linear regression
+// models over joins (paper Section 6.2): the cofactor matrix of the join
+// result is maintained incrementally as a single compound aggregate in the
+// degree-m matrix ring, and models for any choice of label and feature
+// subset are then trained by batch gradient descent over the cofactor
+// matrix alone — without touching the training data again.
+package regression
+
+import (
+	"fmt"
+	"math"
+
+	"fivm/internal/data"
+	"fivm/internal/ivm"
+	"fivm/internal/query"
+	"fivm/internal/ring"
+	"fivm/internal/vorder"
+)
+
+// CofactorModel maintains the compound aggregate (c, s, Q) — count, sums,
+// and cofactor matrix — over all variables of a join query.
+type CofactorModel struct {
+	Query  query.Query
+	Vars   data.Schema // all query variables, in index order
+	varIdx map[string]int
+	engine *ivm.Engine[ring.Triple]
+}
+
+// NewCofactorModel builds the maintenance engine over the given variable
+// order. Every query variable becomes a feature dimension; the lifting of
+// variable j's value x is g_j(x) = (1, s_j = x, Q_jj = x²). Updatable
+// bounds the update workload as in the engine's Options.
+func NewCofactorModel(q query.Query, o *vorder.Order, updatable []string) (*CofactorModel, error) {
+	vars := q.Vars()
+	varIdx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	lift := func(v string, x data.Value) ring.Triple {
+		return ring.LiftValue(varIdx[v], x.AsFloat())
+	}
+	e, err := ivm.New[ring.Triple](q, o, ring.Cofactor{}, lift, ivm.Options[ring.Triple]{
+		Updatable:     updatable,
+		ComposeChains: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CofactorModel{Query: q, Vars: vars, varIdx: varIdx, engine: e}, nil
+}
+
+// Engine exposes the underlying F-IVM engine.
+func (m *CofactorModel) Engine() *ivm.Engine[ring.Triple] { return m.engine }
+
+// Load installs initial relation contents: each tuple gets the ring's
+// multiplicative identity as payload (multiplicity 1 triples are summed by
+// Merge for duplicates).
+func (m *CofactorModel) Load(rel string, tuples []data.Tuple) error {
+	rd, ok := m.Query.Rel(rel)
+	if !ok {
+		return fmt.Errorf("regression: unknown relation %q", rel)
+	}
+	cf := ring.Cofactor{}
+	r := data.NewRelation[ring.Triple](cf, rd.Schema)
+	for _, t := range tuples {
+		r.Merge(t, cf.One())
+	}
+	return m.engine.Load(rel, r)
+}
+
+// Init evaluates the initial views.
+func (m *CofactorModel) Init() error { return m.engine.Init() }
+
+// Insert applies a batch of tuple insertions to one relation.
+func (m *CofactorModel) Insert(rel string, tuples []data.Tuple) error {
+	return m.apply(rel, tuples, false)
+}
+
+// Delete applies a batch of tuple deletions to one relation.
+func (m *CofactorModel) Delete(rel string, tuples []data.Tuple) error {
+	return m.apply(rel, tuples, true)
+}
+
+func (m *CofactorModel) apply(rel string, tuples []data.Tuple, negate bool) error {
+	rd, ok := m.Query.Rel(rel)
+	if !ok {
+		return fmt.Errorf("regression: unknown relation %q", rel)
+	}
+	cf := ring.Cofactor{}
+	p := cf.One()
+	if negate {
+		p = cf.Neg(p)
+	}
+	d := data.NewRelation[ring.Triple](cf, rd.Schema)
+	for _, t := range tuples {
+		d.Merge(t, p)
+	}
+	return m.engine.ApplyDelta(rel, d)
+}
+
+// Aggregate returns the maintained compound aggregate. For queries without
+// group-by variables this is the payload of the empty key.
+func (m *CofactorModel) Aggregate() ring.Triple {
+	p, _ := m.engine.Result().Get(data.Tuple{})
+	return p
+}
+
+// AggregateFor returns the compound aggregate of one group (for queries
+// with group-by variables).
+func (m *CofactorModel) AggregateFor(key data.Tuple) (ring.Triple, bool) {
+	return m.engine.Result().Get(key)
+}
+
+// VarIndex returns the feature index of a variable.
+func (m *CofactorModel) VarIndex(v string) int { return m.varIdx[v] }
+
+// Cofactor returns the dense m×m cofactor matrix, the m-vector of sums, and
+// the tuple count.
+func (m *CofactorModel) Cofactor() (Q []float64, s []float64, count float64) {
+	t := m.Aggregate()
+	k := len(m.Vars)
+	return t.ExpandQ(k), t.ExpandSum(k), t.Count()
+}
+
+// TrainOptions configures batch gradient descent.
+type TrainOptions struct {
+	// Step is the learning rate α; 0 selects an automatic step from the
+	// cofactor scale.
+	Step float64
+	// MaxIters bounds the convergence loop (default 10000).
+	MaxIters int
+	// Tol stops when the gradient's infinity norm falls below it
+	// (default 1e-9 relative to the count).
+	Tol float64
+	// L2 is an optional ridge penalty, stabilizing ill-conditioned
+	// cofactor matrices.
+	L2 float64
+}
+
+// Model is a trained linear regression model over a subset of variables.
+type Model struct {
+	Label    string
+	Features []string // includes the intercept as ""
+	Theta    []float64
+	Iters    int
+	GradNorm float64
+}
+
+// Train learns θ for predicting label from features by batch gradient
+// descent on the maintained cofactor matrix: each step costs O(f²) for f
+// features and never touches the training data (paper Section 6.2). An
+// intercept is always included.
+func (m *CofactorModel) Train(label string, features []string, opts TrainOptions) (*Model, error) {
+	t := m.Aggregate()
+	return TrainFromTriple(t, m.varIdx, label, features, opts)
+}
+
+// TrainFromTriple trains on an explicit compound aggregate; exported so
+// per-group models (one model per group-by key) reuse the same code path.
+func TrainFromTriple(t ring.Triple, varIdx map[string]int, label string, features []string, opts TrainOptions) (*Model, error) {
+	li, ok := varIdx[label]
+	if !ok {
+		return nil, fmt.Errorf("regression: unknown label %q", label)
+	}
+	idx := make([]int, 0, len(features))
+	for _, f := range features {
+		fi, ok := varIdx[f]
+		if !ok {
+			return nil, fmt.Errorf("regression: unknown feature %q", f)
+		}
+		if fi == li {
+			return nil, fmt.Errorf("regression: label %q used as feature", f)
+		}
+		idx = append(idx, fi)
+	}
+	c := t.Count()
+	if c <= 0 {
+		return nil, fmt.Errorf("regression: empty training set")
+	}
+
+	// Build the restricted cofactor system over [intercept, features, label]:
+	// the intercept behaves as a synthetic variable X_0 = 1, whose cofactor
+	// entries are the count (with itself), the sums (with variables).
+	f := len(idx)
+	dim := f + 2 // intercept + features + label
+	cof := func(a, b int) float64 {
+		// a,b index into [0=intercept, 1..f=features, f+1=label].
+		ai, bi := -1, -1
+		if a >= 1 && a <= f {
+			ai = idx[a-1]
+		} else if a == f+1 {
+			ai = li
+		}
+		if b >= 1 && b <= f {
+			bi = idx[b-1]
+		} else if b == f+1 {
+			bi = li
+		}
+		switch {
+		case ai < 0 && bi < 0:
+			return c
+		case ai < 0:
+			return t.SumOf(bi)
+		case bi < 0:
+			return t.SumOf(ai)
+		default:
+			return t.QuadOf(ai, bi)
+		}
+	}
+
+	maxIters := opts.MaxIters
+	if maxIters == 0 {
+		maxIters = 10000
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	step := opts.Step
+	if step == 0 {
+		// Normalize by the largest diagonal entry of the scaled cofactor
+		// matrix so the descent contracts.
+		maxDiag := 1.0
+		for a := 0; a <= f; a++ {
+			if d := cof(a, a) / c; d > maxDiag {
+				maxDiag = d
+			}
+		}
+		step = 1 / (maxDiag * float64(f+1))
+	}
+
+	// θ over [intercept, features]; θ_label fixed to -1 (paper footnote 1).
+	theta := make([]float64, f+1)
+	grad := make([]float64, f+1)
+	gnorm := math.Inf(1)
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		gnorm = 0
+		for a := 0; a <= f; a++ {
+			g := -cof(a, f+1) // label contribution with θ_label = -1
+			for b := 0; b <= f; b++ {
+				g += cof(a, b) * theta[b]
+			}
+			g /= c
+			g += opts.L2 * theta[a]
+			grad[a] = g
+			if ag := math.Abs(g); ag > gnorm {
+				gnorm = ag
+			}
+		}
+		if gnorm < tol {
+			break
+		}
+		for a := range theta {
+			theta[a] -= step * grad[a]
+		}
+		_ = dim
+	}
+	names := append([]string{""}, features...)
+	return &Model{Label: label, Features: names, Theta: theta, Iters: iters, GradNorm: gnorm}, nil
+}
+
+// Predict evaluates the model on a feature assignment (missing features
+// default to 0); the intercept is Theta[0].
+func (mo *Model) Predict(assign map[string]float64) float64 {
+	y := mo.Theta[0]
+	for i, f := range mo.Features[1:] {
+		y += mo.Theta[i+1] * assign[f]
+	}
+	return y
+}

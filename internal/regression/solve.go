@@ -1,0 +1,130 @@
+package regression
+
+import (
+	"fmt"
+	"math"
+
+	"fivm/internal/ring"
+)
+
+// SolveExact computes the least-squares parameters in closed form by
+// solving the normal equations restricted to [intercept, features] against
+// the label, using Gaussian elimination with partial pivoting over the
+// maintained cofactor matrix. It is the direct alternative to batch
+// gradient descent: O(f³) once, no step-size tuning, and a useful oracle
+// for testing Train's convergence. An optional ridge term stabilizes
+// singular systems (collinear features).
+func (m *CofactorModel) SolveExact(label string, features []string, l2 float64) (*Model, error) {
+	return SolveExactFromTriple(m.Aggregate(), m.varIdx, label, features, l2)
+}
+
+// SolveExactFromTriple solves the normal equations on an explicit compound
+// aggregate.
+func SolveExactFromTriple(t ring.Triple, varIdx map[string]int, label string, features []string, l2 float64) (*Model, error) {
+	li, ok := varIdx[label]
+	if !ok {
+		return nil, fmt.Errorf("regression: unknown label %q", label)
+	}
+	idx := make([]int, 0, len(features))
+	for _, f := range features {
+		fi, ok := varIdx[f]
+		if !ok {
+			return nil, fmt.Errorf("regression: unknown feature %q", f)
+		}
+		if fi == li {
+			return nil, fmt.Errorf("regression: label %q used as feature", f)
+		}
+		idx = append(idx, fi)
+	}
+	c := t.Count()
+	if c <= 0 {
+		return nil, fmt.Errorf("regression: empty training set")
+	}
+
+	// Normal equations A θ = b over [intercept, features]:
+	// A[a][b] = Σ X_a X_b, b[a] = Σ X_a y — all entries read off the triple.
+	f := len(idx)
+	dim := f + 1
+	cof := func(a, b int) float64 {
+		// a, b index [0 = intercept, 1..f = features]; -1 denotes the label.
+		toVar := func(k int) int {
+			switch {
+			case k == -1:
+				return li
+			case k == 0:
+				return -1 // intercept
+			default:
+				return idx[k-1]
+			}
+		}
+		va, vb := toVar(a), toVar(b)
+		switch {
+		case va < 0 && vb < 0:
+			return c
+		case va < 0:
+			return t.SumOf(vb)
+		case vb < 0:
+			return t.SumOf(va)
+		default:
+			return t.QuadOf(va, vb)
+		}
+	}
+	a := make([][]float64, dim)
+	b := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		a[i] = make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			a[i][j] = cof(i, j)
+		}
+		a[i][i] += l2
+		b[i] = cof(i, -1)
+	}
+
+	theta, err := solveLinear(a, b)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string{""}, features...)
+	return &Model{Label: label, Features: names, Theta: theta, Iters: 0, GradNorm: 0}, nil
+}
+
+// solveLinear solves a dense linear system by Gaussian elimination with
+// partial pivoting; a and b are consumed.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("regression: singular normal equations (collinear features?); add an L2 term")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			if factor == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= factor * a[col][k]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	// Back substitution.
+	out := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for k := r + 1; k < n; k++ {
+			s -= a[r][k] * out[k]
+		}
+		out[r] = s / a[r][r]
+	}
+	return out, nil
+}

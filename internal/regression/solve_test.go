@@ -1,0 +1,178 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fivm/internal/data"
+)
+
+func TestSolveExactRecoversModel(t *testing.T) {
+	q := twoRelQuery()
+	m, err := NewCofactorModel(q, twoRelOrder(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1, r2 []data.Tuple
+	id := int64(0)
+	for x1 := int64(-3); x1 <= 3; x1++ {
+		for x2 := int64(-3); x2 <= 3; x2++ {
+			y := 4 - 2*x1 + 5*x2
+			r1 = append(r1, data.Ints(id, x1))
+			r2 = append(r2, data.Ints(id, x2, y))
+			id++
+		}
+	}
+	m.Load("R1", r1)
+	m.Load("R2", r2)
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	model, err := m.SolveExact("y", []string{"x1", "x2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, -2, 5}
+	for i, w := range want {
+		if math.Abs(model.Theta[i]-w) > 1e-9 {
+			t.Fatalf("theta = %v, want %v", model.Theta, want)
+		}
+	}
+}
+
+// TestSolveExactMatchesGradientDescent uses the closed-form solution as an
+// oracle for Train's convergence on noisy data.
+func TestSolveExactMatchesGradientDescent(t *testing.T) {
+	q := twoRelQuery()
+	m, _ := NewCofactorModel(q, twoRelOrder(), nil)
+	rng := rand.New(rand.NewSource(11))
+	var r1, r2 []data.Tuple
+	for i := int64(0); i < 60; i++ {
+		x1 := int64(rng.Intn(13) - 6)
+		x2 := int64(rng.Intn(13) - 6)
+		y := 2 + 3*x1 - x2 + int64(rng.Intn(3)-1) // small integer noise
+		r1 = append(r1, data.Ints(i, x1))
+		r2 = append(r2, data.Ints(i, x2, y))
+	}
+	m.Load("R1", r1)
+	m.Load("R2", r2)
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := m.SolveExact("y", []string{"x1", "x2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := m.Train("y", []string{"x1", "x2"}, TrainOptions{MaxIters: 500000, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact.Theta {
+		if math.Abs(exact.Theta[i]-gd.Theta[i]) > 1e-4 {
+			t.Fatalf("GD %v vs exact %v", gd.Theta, exact.Theta)
+		}
+	}
+}
+
+func TestSolveExactSingular(t *testing.T) {
+	// A constant feature (x1 always 0) makes the system singular together
+	// with the intercept; ridge fixes it.
+	q := twoRelQuery()
+	m, _ := NewCofactorModel(q, twoRelOrder(), nil)
+	var r1, r2 []data.Tuple
+	for i := int64(0); i < 10; i++ {
+		r1 = append(r1, data.Ints(i, 0))
+		r2 = append(r2, data.Ints(i, i, 2*i))
+	}
+	m.Load("R1", r1)
+	m.Load("R2", r2)
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SolveExact("y", []string{"x1"}, 0); err == nil {
+		t.Error("singular system should fail without ridge")
+	}
+	if _, err := m.SolveExact("y", []string{"x1"}, 1e-6); err != nil {
+		t.Errorf("ridge-stabilized solve failed: %v", err)
+	}
+}
+
+func TestSolveExactErrors(t *testing.T) {
+	q := twoRelQuery()
+	m, _ := NewCofactorModel(q, twoRelOrder(), nil)
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SolveExact("y", []string{"x1"}, 0); err == nil {
+		t.Error("empty data should fail")
+	}
+	m.Insert("R1", []data.Tuple{data.Ints(0, 1)})
+	m.Insert("R2", []data.Tuple{data.Ints(0, 1, 1)})
+	if _, err := m.SolveExact("nope", []string{"x1"}, 0); err == nil {
+		t.Error("unknown label should fail")
+	}
+	if _, err := m.SolveExact("y", []string{"nope"}, 0); err == nil {
+		t.Error("unknown feature should fail")
+	}
+	if _, err := m.SolveExact("y", []string{"y"}, 0); err == nil {
+		t.Error("label as feature should fail")
+	}
+}
+
+// TestCofactorOverSlidingWindow drives the cofactor model with a windowed
+// insert/delete stream and checks the final aggregate equals a fresh build
+// over the surviving window.
+func TestCofactorOverSlidingWindow(t *testing.T) {
+	q := twoRelQuery()
+	inc, err := NewCofactorModel(q, twoRelOrder(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Init(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+
+	const window = 12
+	var liveR1, liveR2 []data.Tuple
+	for step := 0; step < 80; step++ {
+		t1 := data.Ints(int64(rng.Intn(5)), int64(rng.Intn(9)-4))
+		t2 := data.Ints(int64(rng.Intn(5)), int64(rng.Intn(9)-4), int64(rng.Intn(9)-4))
+		if err := inc.Insert("R1", []data.Tuple{t1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Insert("R2", []data.Tuple{t2}); err != nil {
+			t.Fatal(err)
+		}
+		liveR1 = append(liveR1, t1)
+		liveR2 = append(liveR2, t2)
+		if len(liveR1) > window {
+			if err := inc.Delete("R1", liveR1[:1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := inc.Delete("R2", liveR2[:1]); err != nil {
+				t.Fatal(err)
+			}
+			liveR1, liveR2 = liveR1[1:], liveR2[1:]
+		}
+	}
+
+	fresh, _ := NewCofactorModel(q, twoRelOrder(), nil)
+	fresh.Load("R1", liveR1)
+	fresh.Load("R2", liveR2)
+	if err := fresh.Init(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := inc.Aggregate(), fresh.Aggregate()
+	if math.Abs(a.Count()-b.Count()) > 1e-9 {
+		t.Fatalf("windowed count %v vs fresh %v", a.Count(), b.Count())
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(a.QuadOf(i, j)-b.QuadOf(i, j)) > 1e-6 {
+				t.Fatalf("Q(%d,%d): windowed %v vs fresh %v", i, j, a.QuadOf(i, j), b.QuadOf(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package ring
+
+// Triple is an element of the degree-m matrix ring from paper Definition 6.2:
+// a compound aggregate (c, s, Q) where c is a scalar count aggregate
+// (SUM(1)), s is a vector of linear aggregates (SUM(X_i)), and Q is a
+// symmetric matrix of quadratic aggregates (SUM(X_i * X_j)).
+//
+// Triples are stored sparsely, following the paper's note that "in practice
+// we only store as payloads blocks of matrices with non-zero values and
+// assemble larger matrices as the computation progresses towards the root":
+// Vars lists the variable indices with possibly non-zero entries, and S and Q
+// hold only those rows/columns. In a view tree each variable is lifted
+// exactly once, so payloads stay small in the leaves and grow toward the
+// root, where they cover all m variables.
+//
+// Triples are immutable: ring operations return fresh values.
+type Triple struct {
+	// C is the scalar count aggregate.
+	C float64
+	// Vars holds the sorted variable indices covered by S and Q.
+	Vars []int32
+	// S holds the linear aggregates; S[i] corresponds to Vars[i].
+	S []float64
+	// Q holds the quadratic aggregates in row-major order over Vars;
+	// Q[i*len(Vars)+j] is SUM(X_{Vars[i]} * X_{Vars[j]}). Q is symmetric.
+	Q []float64
+}
+
+// Cofactor is the degree-m matrix ring over Triple values. The degree m (the
+// total number of query variables) bounds the variable indices but does not
+// affect the sparse representation, so a single Cofactor value works for any
+// query; m is only needed when expanding a triple to dense form.
+type Cofactor struct{}
+
+// Zero returns the triple (0, 0, 0).
+func (Cofactor) Zero() Triple { return Triple{} }
+
+// One returns the triple (1, 0, 0), the multiplicative identity.
+func (Cofactor) One() Triple { return Triple{C: 1} }
+
+// IsZero reports whether every component of the triple is zero. A triple can
+// have a zero count but non-zero sums (for example, a delta combining an
+// insert and a delete of tuples that agree on some variables), so every
+// entry must be inspected.
+func (Cofactor) IsZero(a Triple) bool {
+	if a.C != 0 {
+		return false
+	}
+	for _, v := range a.S {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, v := range a.Q {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Neg returns the additive inverse, negating every component.
+func (Cofactor) Neg(a Triple) Triple {
+	out := Triple{
+		C:    -a.C,
+		Vars: a.Vars,
+		S:    make([]float64, len(a.S)),
+		Q:    make([]float64, len(a.Q)),
+	}
+	for i, v := range a.S {
+		out.S[i] = -v
+	}
+	for i, v := range a.Q {
+		out.Q[i] = -v
+	}
+	return out
+}
+
+// Add returns the component-wise sum of two triples, aligning their sparse
+// variable sets.
+func (Cofactor) Add(a, b Triple) Triple {
+	// Fast paths: a zero operand contributes nothing; triples are immutable
+	// so sharing the other operand is safe.
+	if a.C == 0 && len(a.Vars) == 0 {
+		return b
+	}
+	if b.C == 0 && len(b.Vars) == 0 {
+		return a
+	}
+	if sameVars(a.Vars, b.Vars) {
+		k := len(a.Vars)
+		out := Triple{C: a.C + b.C, Vars: a.Vars, S: make([]float64, k), Q: make([]float64, k*k)}
+		for i := range out.S {
+			out.S[i] = a.S[i] + b.S[i]
+		}
+		for i := range out.Q {
+			out.Q[i] = a.Q[i] + b.Q[i]
+		}
+		return out
+	}
+	vars, ia, ib := mergeVars(a.Vars, b.Vars)
+	k := len(vars)
+	out := Triple{C: a.C + b.C, Vars: vars, S: make([]float64, k), Q: make([]float64, k*k)}
+	scatterAdd(&out, a, ia, 1)
+	scatterAdd(&out, b, ib, 1)
+	return out
+}
+
+// Mul returns the ring product from Definition 6.2:
+//
+//	c  = ca*cb
+//	s  = cb*sa + ca*sb
+//	Q  = cb*Qa + ca*Qb + sa sbᵀ + sb saᵀ
+//
+// computed in the merged sparse variable space. In view trees the operand
+// variable sets are disjoint (each variable is lifted once), but Mul handles
+// overlap correctly as required by the ring axioms.
+func (Cofactor) Mul(a, b Triple) Triple {
+	// Fast paths for scalar-only operands, which are the overwhelmingly
+	// common case at the leaves of a view tree.
+	if len(a.Vars) == 0 {
+		if a.C == 1 {
+			return b
+		}
+		return scaleTriple(b, a.C)
+	}
+	if len(b.Vars) == 0 {
+		if b.C == 1 {
+			return a
+		}
+		return scaleTriple(a, b.C)
+	}
+	vars, ia, ib := mergeVars(a.Vars, b.Vars)
+	k := len(vars)
+	out := Triple{C: a.C * b.C, Vars: vars, S: make([]float64, k), Q: make([]float64, k*k)}
+	// Scale-and-scatter the linear and quadratic blocks.
+	scatterAdd(&out, a, ia, b.C)
+	scatterAdd(&out, b, ib, a.C)
+	// Outer products sa sbᵀ + sb saᵀ in the merged space.
+	for i, si := range a.S {
+		if si == 0 {
+			continue
+		}
+		ri := ia[i]
+		for j, sj := range b.S {
+			if sj == 0 {
+				continue
+			}
+			rj := ib[j]
+			p := si * sj
+			out.Q[ri*k+rj] += p
+			out.Q[rj*k+ri] += p
+		}
+	}
+	return out
+}
+
+// Bytes estimates the heap footprint of a triple.
+func (Cofactor) Bytes(a Triple) int {
+	return 8 + 3*24 + 4*len(a.Vars) + 8*len(a.S) + 8*len(a.Q)
+}
+
+// LiftValue returns the lifting g_j(x) = (1, s_j = x, Q_{jj} = x²) for the
+// variable with index j (paper Section 6.2).
+func LiftValue(j int, x float64) Triple {
+	return Triple{C: 1, Vars: []int32{int32(j)}, S: []float64{x}, Q: []float64{x * x}}
+}
+
+// Count returns the scalar count aggregate of the triple.
+func (a Triple) Count() float64 { return a.C }
+
+// SumOf returns the linear aggregate SUM(X_j), or 0 if j is not covered.
+func (a Triple) SumOf(j int) float64 {
+	i := findVar(a.Vars, int32(j))
+	if i < 0 {
+		return 0
+	}
+	return a.S[i]
+}
+
+// QuadOf returns the quadratic aggregate SUM(X_i * X_j), or 0 if either
+// variable is not covered.
+func (a Triple) QuadOf(i, j int) float64 {
+	ri := findVar(a.Vars, int32(i))
+	rj := findVar(a.Vars, int32(j))
+	if ri < 0 || rj < 0 {
+		return 0
+	}
+	return a.Q[ri*len(a.Vars)+rj]
+}
+
+// ExpandSum returns the dense m-length vector of linear aggregates.
+func (a Triple) ExpandSum(m int) []float64 {
+	out := make([]float64, m)
+	for i, v := range a.Vars {
+		out[v] = a.S[i]
+	}
+	return out
+}
+
+// ExpandQ returns the dense m×m row-major cofactor matrix.
+func (a Triple) ExpandQ(m int) []float64 {
+	out := make([]float64, m*m)
+	k := len(a.Vars)
+	for i := 0; i < k; i++ {
+		ri := int(a.Vars[i])
+		for j := 0; j < k; j++ {
+			out[ri*m+int(a.Vars[j])] = a.Q[i*k+j]
+		}
+	}
+	return out
+}
+
+func scaleTriple(a Triple, c float64) Triple {
+	if c == 0 {
+		return Triple{}
+	}
+	out := Triple{C: a.C * c, Vars: a.Vars, S: make([]float64, len(a.S)), Q: make([]float64, len(a.Q))}
+	for i, v := range a.S {
+		out.S[i] = v * c
+	}
+	for i, v := range a.Q {
+		out.Q[i] = v * c
+	}
+	return out
+}
+
+// scatterAdd adds scale*src into dst, mapping src row i to dst row idx[i].
+func scatterAdd(dst *Triple, src Triple, idx []int, scale float64) {
+	k := len(dst.Vars)
+	ks := len(src.Vars)
+	for i := 0; i < ks; i++ {
+		dst.S[idx[i]] += scale * src.S[i]
+		for j := 0; j < ks; j++ {
+			dst.Q[idx[i]*k+idx[j]] += scale * src.Q[i*ks+j]
+		}
+	}
+}
+
+func sameVars(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeVars merges two sorted variable index lists and returns the merged
+// list plus, for each input, the mapping from input positions to merged
+// positions.
+func mergeVars(a, b []int32) (merged []int32, ia, ib []int) {
+	merged = make([]int32, 0, len(a)+len(b))
+	ia = make([]int, len(a))
+	ib = make([]int, len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			ia[i] = len(merged)
+			merged = append(merged, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			ib[j] = len(merged)
+			merged = append(merged, b[j])
+			j++
+		default: // equal
+			ia[i] = len(merged)
+			ib[j] = len(merged)
+			merged = append(merged, a[i])
+			i++
+			j++
+		}
+	}
+	return merged, ia, ib
+}
+
+func findVar(vars []int32, v int32) int {
+	lo, hi := 0, len(vars)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vars[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(vars) && vars[lo] == v {
+		return lo
+	}
+	return -1
+}

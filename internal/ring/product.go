@@ -1,0 +1,66 @@
+package ring
+
+// PairVal is an element of a product ring: a pair of payloads maintained
+// simultaneously.
+type PairVal[A, B any] struct {
+	A A
+	B B
+}
+
+// Product is the component-wise product of two rings: (a,b) + (a',b') =
+// (a+a', b+b') and likewise for multiplication. It lets one view tree
+// maintain two different analytics in a single pass — for example a COUNT
+// alongside a cofactor triple, or a scalar aggregate alongside a relational
+// payload — sharing all key-side computation, in the spirit of the paper's
+// compound aggregates.
+type Product[A, B any] struct {
+	RA Ring[A]
+	RB Ring[B]
+}
+
+// NewProduct builds the product of two rings.
+func NewProduct[A, B any](ra Ring[A], rb Ring[B]) Product[A, B] {
+	return Product[A, B]{RA: ra, RB: rb}
+}
+
+// Zero returns (0, 0).
+func (r Product[A, B]) Zero() PairVal[A, B] {
+	return PairVal[A, B]{A: r.RA.Zero(), B: r.RB.Zero()}
+}
+
+// One returns (1, 1).
+func (r Product[A, B]) One() PairVal[A, B] {
+	return PairVal[A, B]{A: r.RA.One(), B: r.RB.One()}
+}
+
+// Add adds component-wise.
+func (r Product[A, B]) Add(a, b PairVal[A, B]) PairVal[A, B] {
+	return PairVal[A, B]{A: r.RA.Add(a.A, b.A), B: r.RB.Add(a.B, b.B)}
+}
+
+// Neg negates component-wise.
+func (r Product[A, B]) Neg(a PairVal[A, B]) PairVal[A, B] {
+	return PairVal[A, B]{A: r.RA.Neg(a.A), B: r.RB.Neg(a.B)}
+}
+
+// Mul multiplies component-wise.
+func (r Product[A, B]) Mul(a, b PairVal[A, B]) PairVal[A, B] {
+	return PairVal[A, B]{A: r.RA.Mul(a.A, b.A), B: r.RB.Mul(a.B, b.B)}
+}
+
+// IsZero reports whether both components are zero.
+func (r Product[A, B]) IsZero(a PairVal[A, B]) bool {
+	return r.RA.IsZero(a.A) && r.RB.IsZero(a.B)
+}
+
+// Bytes sums the component footprints when both rings are Sized.
+func (r Product[A, B]) Bytes(a PairVal[A, B]) int {
+	n := 16
+	if sa, ok := r.RA.(Sized[A]); ok {
+		n += sa.Bytes(a.A)
+	}
+	if sb, ok := r.RB.(Sized[B]); ok {
+		n += sb.Bytes(a.B)
+	}
+	return n
+}

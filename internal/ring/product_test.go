@@ -1,0 +1,45 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProductRingAxioms(t *testing.T) {
+	r := NewProduct[int64, float64](Int{}, Float{})
+	gen := func(rng *rand.Rand) PairVal[int64, float64] {
+		return PairVal[int64, float64]{
+			A: int64(rng.Intn(21) - 10),
+			B: float64(rng.Intn(21) - 10),
+		}
+	}
+	eq := func(a, b PairVal[int64, float64]) bool { return a.A == b.A && a.B == b.B }
+	checkRingAxioms[PairVal[int64, float64]](t, r, gen, eq)
+}
+
+func TestProductOfCofactorAndInt(t *testing.T) {
+	// A compound (multiplicity, triple) payload: both components evolve
+	// consistently under shared ring operations.
+	r := NewProduct[int64, Triple](Int{}, Cofactor{})
+	a := PairVal[int64, Triple]{A: 1, B: LiftValue(0, 2)}
+	b := PairVal[int64, Triple]{A: 1, B: LiftValue(1, 3)}
+	p := r.Mul(a, b)
+	if p.A != 1 {
+		t.Errorf("count component = %d", p.A)
+	}
+	if p.B.QuadOf(0, 1) != 6 {
+		t.Errorf("Q(0,1) = %v, want 6", p.B.QuadOf(0, 1))
+	}
+	s := r.Add(p, r.Neg(p))
+	if !r.IsZero(s) {
+		t.Errorf("p - p = %+v", s)
+	}
+}
+
+func TestProductBytes(t *testing.T) {
+	r := NewProduct[int64, Triple](Int{}, Cofactor{})
+	v := PairVal[int64, Triple]{A: 1, B: LiftValue(0, 2)}
+	if r.Bytes(v) <= 16 {
+		t.Error("Bytes should include both components")
+	}
+}

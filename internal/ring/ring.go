@@ -1,0 +1,80 @@
+// Package ring defines the payload algebra used by F-IVM.
+//
+// In F-IVM, a relation maps keys (tuples of data values) to payloads, which
+// are elements of a task-specific ring (D, +, *, 0, 1). The computation over
+// keys — joins, unions, marginalization — is identical for all tasks; tasks
+// differ only in the choice of ring and of the lifting functions that map key
+// values into the ring. This package provides the ring abstraction and the
+// concrete rings used by the paper's applications:
+//
+//   - Int and Float: the Z and R rings for COUNT/SUM-style aggregates.
+//   - Cofactor: the degree-m matrix ring of (count, sum-vector, cofactor
+//     matrix) triples used for gradient computation in linear regression
+//     (paper Definition 6.2).
+//   - DegreeMap: an explicit degree-indexed aggregate encoding equivalent to
+//     the paper's SQL-OPT competitor.
+//
+// The relational data ring F[Z] (paper Definition 6.4) lives in package
+// internal/data because its elements are relations.
+package ring
+
+// Ring is a commutative-enough ring over payload type T. Implementations
+// must satisfy the ring axioms (associativity and commutativity of Add,
+// associativity of Mul, distributivity of Mul over Add, identities, and
+// additive inverses). Mul need not be commutative (the matrix ring is not in
+// general), but all rings used by the engine are.
+//
+// Implementations must treat payload values as immutable: Add, Mul, and Neg
+// must not modify their arguments, because views share payload values.
+type Ring[T any] interface {
+	// Zero returns the additive identity.
+	Zero() T
+	// One returns the multiplicative identity.
+	One() T
+	// Add returns a + b.
+	Add(a, b T) T
+	// Neg returns the additive inverse -a.
+	Neg(a T) T
+	// Mul returns a * b.
+	Mul(a, b T) T
+	// IsZero reports whether a equals the additive identity. Relations use
+	// it to drop keys whose payloads vanish, keeping supports finite.
+	IsZero(a T) bool
+}
+
+// Sub returns a - b, a convenience over Add and Neg.
+func Sub[T any](r Ring[T], a, b T) T { return r.Add(a, r.Neg(b)) }
+
+// Sum folds Add over the given values, starting from Zero.
+func Sum[T any](r Ring[T], vs ...T) T {
+	acc := r.Zero()
+	for _, v := range vs {
+		acc = r.Add(acc, v)
+	}
+	return acc
+}
+
+// Prod folds Mul over the given values, starting from One.
+func Prod[T any](r Ring[T], vs ...T) T {
+	acc := r.One()
+	for _, v := range vs {
+		acc = r.Mul(acc, v)
+	}
+	return acc
+}
+
+// Pow returns a multiplied by itself n times; Pow(a, 0) is One.
+func Pow[T any](r Ring[T], a T, n int) T {
+	acc := r.One()
+	for i := 0; i < n; i++ {
+		acc = r.Mul(acc, a)
+	}
+	return acc
+}
+
+// Sized is implemented by rings that can estimate the in-memory footprint of
+// a payload. The benchmark harness uses it for memory accounting.
+type Sized[T any] interface {
+	// Bytes returns an estimate of the heap bytes held by the payload.
+	Bytes(a T) int
+}

@@ -1,0 +1,297 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"fivm/internal/data"
+	"fivm/internal/query"
+)
+
+// Catalog supplies the schema of each relation named in a query.
+type Catalog map[string]data.Schema
+
+// Parsed is a parsed query: the internal join-aggregate representation plus
+// the aggregate's structure.
+type Parsed struct {
+	// Query is the natural join with the GROUP BY variables as Free.
+	Query query.Query
+	// SumVars lists the variables multiplied inside SUM(...); empty for
+	// SUM(1) / COUNT(*).
+	SumVars []string
+	// Constant is the literal factor inside SUM (1 unless written
+	// otherwise, e.g. SUM(2*B)).
+	Constant float64
+}
+
+// LiftInt returns the Z-ring lifting realizing the aggregate: a bound
+// variable contributes its value if it appears in SUM, else 1. The constant
+// factor is folded into the first summed variable; for pure COUNT queries
+// it must be 1.
+func (p Parsed) LiftInt() data.LiftFunc[int64] {
+	in := make(map[string]bool, len(p.SumVars))
+	for _, v := range p.SumVars {
+		in[v] = true
+	}
+	return func(v string, x data.Value) int64 {
+		if in[v] {
+			return x.AsInt()
+		}
+		return 1
+	}
+}
+
+// LiftFloat returns the R-ring lifting realizing the aggregate.
+func (p Parsed) LiftFloat() data.LiftFunc[float64] {
+	in := make(map[string]bool, len(p.SumVars))
+	for _, v := range p.SumVars {
+		in[v] = true
+	}
+	first := ""
+	if len(p.SumVars) > 0 {
+		first = p.SumVars[0]
+	}
+	return func(v string, x data.Value) float64 {
+		out := 1.0
+		if in[v] {
+			out = x.AsFloat()
+		}
+		// The constant factor applies once per joined tuple; the first
+		// summed variable is lifted exactly once, so it carries it.
+		if v == first && first != "" {
+			out *= p.Constant
+		}
+		return out
+	}
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	cat  Catalog
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("sqlparse: expected %s, got %s at offset %d", what, t, t.pos)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !isKeyword(t, kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %s at offset %d", strings.ToUpper(kw), t, t.pos)
+	}
+	return nil
+}
+
+// column parses [rel.]var and returns the variable name; the qualifier is
+// validated against the catalog when present.
+func (p *parser) column() (string, error) {
+	t, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return "", err
+	}
+	name := t.text
+	if p.peek().kind == tokDot {
+		p.next()
+		v, err := p.expect(tokIdent, "column name after qualifier")
+		if err != nil {
+			return "", err
+		}
+		schema, ok := p.cat[name]
+		if !ok {
+			return "", fmt.Errorf("sqlparse: unknown relation %q qualifying %q", name, v.text)
+		}
+		if !schema.Contains(v.text) {
+			return "", fmt.Errorf("sqlparse: relation %q has no column %q", name, v.text)
+		}
+		return v.text, nil
+	}
+	return name, nil
+}
+
+// Parse parses one query of the dialect against the catalog.
+func Parse(sql string, cat Catalog) (Parsed, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return Parsed{}, err
+	}
+	p := &parser{toks: toks, cat: cat}
+
+	if err := p.expectKeyword("select"); err != nil {
+		return Parsed{}, err
+	}
+
+	// Select list: group-by columns then at most one SUM(...) or COUNT(*).
+	var selectCols []string
+	out := Parsed{Constant: 1}
+	sawAgg := false
+	for {
+		t := p.peek()
+		switch {
+		case isKeyword(t, "sum"):
+			if sawAgg {
+				return Parsed{}, fmt.Errorf("sqlparse: multiple aggregates at offset %d", t.pos)
+			}
+			sawAgg = true
+			p.next()
+			if _, err := p.expect(tokLParen, "("); err != nil {
+				return Parsed{}, err
+			}
+			// Product of terms: numbers and columns separated by '*'.
+			for {
+				tt := p.peek()
+				switch tt.kind {
+				case tokNumber:
+					p.next()
+					var c float64
+					if _, err := fmt.Sscanf(tt.text, "%g", &c); err != nil {
+						return Parsed{}, fmt.Errorf("sqlparse: bad number %q at offset %d", tt.text, tt.pos)
+					}
+					out.Constant *= c
+				case tokIdent:
+					v, err := p.column()
+					if err != nil {
+						return Parsed{}, err
+					}
+					out.SumVars = append(out.SumVars, v)
+				default:
+					return Parsed{}, fmt.Errorf("sqlparse: expected SUM term, got %s at offset %d", tt, tt.pos)
+				}
+				if p.peek().kind == tokStar {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return Parsed{}, err
+			}
+		case isKeyword(t, "count"):
+			if sawAgg {
+				return Parsed{}, fmt.Errorf("sqlparse: multiple aggregates at offset %d", t.pos)
+			}
+			sawAgg = true
+			p.next()
+			if _, err := p.expect(tokLParen, "("); err != nil {
+				return Parsed{}, err
+			}
+			if p.peek().kind == tokStar {
+				p.next()
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return Parsed{}, err
+			}
+		case t.kind == tokIdent:
+			v, err := p.column()
+			if err != nil {
+				return Parsed{}, err
+			}
+			selectCols = append(selectCols, v)
+		default:
+			return Parsed{}, fmt.Errorf("sqlparse: unexpected %s in select list at offset %d", t, t.pos)
+		}
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if !sawAgg {
+		return Parsed{}, fmt.Errorf("sqlparse: the select list needs a SUM(...) or COUNT(*) aggregate")
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return Parsed{}, err
+	}
+	var rels []query.RelDef
+	for {
+		t, err := p.expect(tokIdent, "relation name")
+		if err != nil {
+			return Parsed{}, err
+		}
+		schema, ok := p.cat[t.text]
+		if !ok {
+			return Parsed{}, fmt.Errorf("sqlparse: relation %q not in catalog", t.text)
+		}
+		rels = append(rels, query.RelDef{Name: t.text, Schema: schema})
+
+		if isKeyword(p.peek(), "natural") {
+			p.next()
+			if err := p.expectKeyword("join"); err != nil {
+				return Parsed{}, err
+			}
+			continue
+		}
+		break
+	}
+
+	// Optional GROUP BY, which must repeat the plain select columns.
+	var free data.Schema
+	if isKeyword(p.peek(), "group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return Parsed{}, err
+		}
+		for {
+			v, err := p.column()
+			if err != nil {
+				return Parsed{}, err
+			}
+			free = free.Union(data.Schema{v})
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind == tokSemicolon {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return Parsed{}, fmt.Errorf("sqlparse: trailing input %s at offset %d", t, t.pos)
+	}
+
+	// The plain select columns must match the GROUP BY set.
+	sel := data.Schema(nil)
+	for _, c := range selectCols {
+		sel = sel.Union(data.Schema{c})
+	}
+	if !sel.SameSet(free) {
+		return Parsed{}, fmt.Errorf("sqlparse: select columns %v must equal GROUP BY %v", sel, free)
+	}
+
+	q, err := query.New("sql", free, rels...)
+	if err != nil {
+		return Parsed{}, err
+	}
+	// Summed and grouping variables must occur in the join.
+	vars := q.Vars()
+	for _, v := range out.SumVars {
+		if !vars.Contains(v) {
+			return Parsed{}, fmt.Errorf("sqlparse: SUM variable %q not in any relation", v)
+		}
+		if free.Contains(v) {
+			return Parsed{}, fmt.Errorf("sqlparse: SUM variable %q is a GROUP BY column", v)
+		}
+	}
+	if len(out.SumVars) == 0 && out.Constant != 1 {
+		return Parsed{}, fmt.Errorf("sqlparse: SUM of a bare constant other than 1 is not supported; use SUM(1)")
+	}
+	out.Query = q
+	return out, nil
+}

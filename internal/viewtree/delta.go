@@ -1,0 +1,116 @@
+package viewtree
+
+import (
+	"fmt"
+	"strings"
+
+	"fivm/internal/data"
+)
+
+// DeltaNode is one node of a delta tree δ(τ, δR) (paper Figure 4): the view
+// tree with the views on the path from the updated relation's leaf to the
+// root replaced by delta views. The IVM engine compiles this structure into
+// executable plans; the symbolic form here backs inspection, testing, and
+// documentation.
+type DeltaNode struct {
+	// View is the underlying view tree node.
+	View *Node
+	// IsDelta marks nodes on the update path (δV rather than V).
+	IsDelta bool
+	// Children mirror the view tree's children.
+	Children []*DeltaNode
+}
+
+// DeltaTree builds the delta tree for an update to relation rel (matching
+// indicator leaves are treated as separate update paths; pass the leaf
+// explicitly via DeltaTreeAt for those).
+func DeltaTree(root *Node, rel string) (*DeltaNode, error) {
+	leaf := root.LeafOf(rel)
+	if leaf == nil {
+		return nil, fmt.Errorf("viewtree: relation %q has no leaf", rel)
+	}
+	return DeltaTreeAt(root, leaf), nil
+}
+
+// DeltaTreeAt builds the delta tree for an update entering at the given
+// leaf (a relation leaf or an indicator leaf).
+func DeltaTreeAt(root *Node, leaf *Node) *DeltaNode {
+	onPath := map[*Node]bool{}
+	for n := leaf; n != nil; n = n.Parent() {
+		onPath[n] = true
+	}
+	var build func(n *Node) *DeltaNode
+	build = func(n *Node) *DeltaNode {
+		dn := &DeltaNode{View: n, IsDelta: onPath[n]}
+		for _, c := range n.Children {
+			dn.Children = append(dn.Children, build(c))
+		}
+		return dn
+	}
+	return build(root)
+}
+
+// Expr renders the delta view definition at this node in the paper's
+// notation, e.g. "δV@C[A] = ⊕C δV@D[C] ⊗ V@E[A,C]". Non-delta nodes render
+// their plain view definition.
+func (dn *DeltaNode) Expr() string {
+	n := dn.View
+	prefix := ""
+	if dn.IsDelta {
+		prefix = "δ"
+	}
+	if n.IsLeaf() {
+		return prefix + n.Name()
+	}
+	var parts []string
+	for _, c := range dn.Children {
+		name := c.View.Name()
+		if c.IsDelta {
+			name = "δ" + name
+		}
+		parts = append(parts, name)
+	}
+	rhs := strings.Join(parts, " ⊗ ")
+	if len(n.Marg) > 0 {
+		rhs = "⊕" + data.Schema(n.Marg).String() + " " + rhs
+	}
+	return prefix + n.Name() + " = " + rhs
+}
+
+// Path returns the delta views from the leaf to the root, in propagation
+// order.
+func (dn *DeltaNode) Path() []*DeltaNode {
+	var out []*DeltaNode
+	var rec func(d *DeltaNode) bool
+	rec = func(d *DeltaNode) bool {
+		if !d.IsDelta {
+			return false
+		}
+		for _, c := range d.Children {
+			rec(c)
+		}
+		out = append(out, d)
+		return true
+	}
+	rec(dn)
+	return out
+}
+
+// String renders the whole delta tree, delta nodes marked with δ.
+func (dn *DeltaNode) String() string {
+	var b strings.Builder
+	var rec func(d *DeltaNode, depth int)
+	rec = func(d *DeltaNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if d.IsDelta {
+			b.WriteString("δ")
+		}
+		b.WriteString(d.View.Name())
+		b.WriteString("\n")
+		for _, c := range d.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(dn, 0)
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package viewtree
+
+// Materialize implements µ(τ, U) from paper Figure 5: it decides which
+// views of the tree must be materialized to support updates to the
+// relations in updatable. The root is always materialized (it is the query
+// result); any other view V is materialized exactly when it is needed to
+// compute the delta of its parent for updates to a relation V is not
+// defined over: (rels(parent) \ rels(V)) ∩ U ≠ ∅.
+func Materialize(root *Node, updatable []string) map[*Node]bool {
+	u := make(map[string]bool, len(updatable))
+	for _, r := range updatable {
+		u[r] = true
+	}
+	out := make(map[*Node]bool)
+	root.Walk(func(n *Node) {
+		if n.parent == nil {
+			out[n] = true
+			return
+		}
+		in := make(map[string]bool, len(n.Rels))
+		for _, r := range n.Rels {
+			in[r] = true
+		}
+		need := false
+		for _, r := range n.parent.Rels {
+			if !in[r] && u[r] {
+				need = true
+				break
+			}
+		}
+		out[n] = need
+	})
+	return out
+}
+
+// MaterializedCount returns how many views µ marks for materialization —
+// the paper compares strategies by this count.
+func MaterializedCount(m map[*Node]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
