@@ -53,6 +53,7 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	dataset := fs.String("dataset", "retailer", "dataset for fig7/fig8: retailer or housing")
 	batch := fs.Int("batch", 1000, "update batch size")
+	group := fs.Int("group", 1, "stream batches applied per batched ApplyDeltas call")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-strategy timeout (the paper's 1h limit, scaled)")
 	scale := fs.Int("scale", 1, "dataset scale multiplier")
 	noScalar := fs.Bool("no-scalar", false, "skip the per-aggregate scalar competitors (DBT, 1-IVM)")
@@ -75,6 +76,7 @@ func main() {
 		cfg := bench.DefaultFig7(ds)
 		cfg.BatchSize = *batch
 		cfg.Timeout = *timeout
+		cfg.Group = *group
 		cfg.Retailer = retailer
 		cfg.Housing = housing
 		cfg.IncludeScalar = !*noScalar
@@ -148,7 +150,7 @@ func main() {
 			os.Exit(2)
 		}
 		ds := pickDataset(*dataset, retailer, housing, twitter)
-		if err := runSQL(ds, fs.Arg(0), *batch); err != nil {
+		if err := runSQL(ds, fs.Arg(0), *batch, *group); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

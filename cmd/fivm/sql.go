@@ -24,9 +24,10 @@ func pickDataset(name string, retailer datasets.RetailerConfig, housing datasets
 }
 
 // runSQL parses an ad-hoc query against a dataset's catalog, maintains it
-// over the dataset's update stream with F-IVM, and prints the result with
-// throughput statistics.
-func runSQL(ds *datasets.Dataset, sql string, batchSize int) error {
+// over the dataset's update stream with F-IVM (driving the batched
+// ApplyDeltas API group-wise), and prints the result with throughput
+// statistics.
+func runSQL(ds *datasets.Dataset, sql string, batchSize, group int) error {
 	cat := sqlparse.Catalog{}
 	for _, rd := range ds.Query.Rels {
 		cat[rd.Name] = rd.Schema
@@ -50,19 +51,28 @@ func runSQL(ds *datasets.Dataset, sql string, batchSize int) error {
 		return err
 	}
 
+	if group <= 0 {
+		group = 1
+	}
 	stream := datasets.RoundRobinStream(ds, parsed.Query.RelNames(), batchSize)
 	tuples := 0
 	start := time.Now()
-	for _, b := range stream {
-		rd, _ := parsed.Query.Rel(b.Rel)
-		d := data.NewRelation[float64](ring.Float{}, rd.Schema)
-		for _, t := range b.Tuples {
-			d.Merge(t, 1)
+	batch := make([]ivm.NamedDelta[float64], 0, group)
+	for at := 0; at < len(stream); at += group {
+		batch = batch[:0]
+		for _, b := range stream[at:min(at+group, len(stream))] {
+			rd, _ := parsed.Query.Rel(b.Rel)
+			d := data.NewRelation[float64](ring.Float{}, rd.Schema)
+			d.Reserve(len(b.Tuples))
+			for _, t := range b.Tuples {
+				d.Merge(t, 1)
+			}
+			batch = append(batch, ivm.NamedDelta[float64]{Rel: b.Rel, Delta: d})
+			tuples += len(b.Tuples)
 		}
-		if err := eng.ApplyDelta(b.Rel, d); err != nil {
+		if err := eng.ApplyDeltas(batch); err != nil {
 			return err
 		}
-		tuples += len(b.Tuples)
 	}
 	elapsed := time.Since(start)
 

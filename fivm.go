@@ -162,8 +162,15 @@ type Engine[P any] = ivm.Engine[P]
 // projections, and payload transforms.
 type EngineOptions[P any] = ivm.Options[P]
 
-// Maintainer is the interface all maintenance strategies implement.
+// Maintainer is the interface all maintenance strategies implement. Besides
+// single-relation ApplyDelta, every strategy supports batched updates via
+// ApplyDeltas, which coalesces same-relation deltas and traverses each
+// maintenance path once per batch.
 type Maintainer[P any] = ivm.Maintainer[P]
+
+// NamedDelta is one element of a batched update: a relation name and its
+// delta. Feed a slice of these to a Maintainer's ApplyDeltas.
+type NamedDelta[P any] = ivm.NamedDelta[P]
 
 // FactoredDelta is an update expressed as a product of factors.
 type FactoredDelta[P any] = ivm.FactoredDelta[P]

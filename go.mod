@@ -1,0 +1,3 @@
+module fivm
+
+go 1.24

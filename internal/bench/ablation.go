@@ -41,7 +41,7 @@ func Ablations(cfg AblationConfig) *Table {
 		Header: []string{"variant", "views", "throughput", "peak mem"},
 	}
 	add := func(name string, r RunResult) {
-		t.AddRow(name, r.Views, fmtTput(r.Throughput), fmtMem(r.PeakMem))
+		t.AddRow(name, r.Views, fmtTputRes(r), fmtMem(r.PeakMem))
 	}
 
 	// Chain composition on vs off.

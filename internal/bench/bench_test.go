@@ -207,9 +207,16 @@ type loaderFunc struct {
 	apply func(b datasets.Batch) error
 }
 
-func (l loaderFunc) ApplyBatch(b datasets.Batch) error { return l.apply(b) }
-func (l loaderFunc) ViewCount() int                    { return 0 }
-func (l loaderFunc) MemoryBytes() int                  { return 0 }
+func (l loaderFunc) ApplyBatches(bs []datasets.Batch) error {
+	for _, b := range bs {
+		if err := l.apply(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (l loaderFunc) ViewCount() int   { return 0 }
+func (l loaderFunc) MemoryBytes() int { return 0 }
 
 func TestFormatHelpers(t *testing.T) {
 	if fmtMem(512) != "512B" || !strings.Contains(fmtMem(2<<20), "MiB") {

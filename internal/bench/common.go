@@ -16,6 +16,7 @@ func intDelta(q query.Query) func(b datasets.Batch) *data.Relation[int64] {
 	return func(b datasets.Batch) *data.Relation[int64] {
 		rd, _ := q.Rel(b.Rel)
 		d := data.NewRelation[int64](ring.Int{}, rd.Schema)
+		d.Reserve(len(b.Tuples))
 		for _, t := range b.Tuples {
 			d.Merge(t, 1)
 		}
@@ -28,6 +29,7 @@ func floatDelta(q query.Query) func(b datasets.Batch) *data.Relation[float64] {
 	return func(b datasets.Batch) *data.Relation[float64] {
 		rd, _ := q.Rel(b.Rel)
 		d := data.NewRelation[float64](ring.Float{}, rd.Schema)
+		d.Reserve(len(b.Tuples))
 		for _, t := range b.Tuples {
 			d.Merge(t, 1)
 		}
@@ -41,6 +43,7 @@ func tripleDelta(q query.Query) func(b datasets.Batch) *data.Relation[ring.Tripl
 	return func(b datasets.Batch) *data.Relation[ring.Triple] {
 		rd, _ := q.Rel(b.Rel)
 		d := data.NewRelation[ring.Triple](cf, rd.Schema)
+		d.Reserve(len(b.Tuples))
 		one := cf.One()
 		for _, t := range b.Tuples {
 			d.Merge(t, one)
@@ -55,6 +58,7 @@ func degMapDelta(q query.Query) func(b datasets.Batch) *data.Relation[ring.DegMa
 	return func(b datasets.Batch) *data.Relation[ring.DegMap] {
 		rd, _ := q.Rel(b.Rel)
 		d := data.NewRelation[ring.DegMap](dm, rd.Schema)
+		d.Reserve(len(b.Tuples))
 		for _, t := range b.Tuples {
 			d.Merge(t, dm.One())
 		}

@@ -37,7 +37,7 @@ func DefaultFig11() Fig11Config {
 func Fig11(cfg Fig11Config) *Table {
 	t := &Table{
 		Title:  "Figure 11 (Appendix C): SUM-aggregate maintenance throughput (tuples/sec)",
-		Note:   "* = hit the scaled-down timeout, throughput over the processed prefix",
+		Note:   "* = hit the scaled-down timeout; ! = aborted by a maintenance error; throughput over the processed prefix",
 		Header: []string{"dataset", "F-IVM", "DBT", "1-IVM", "F-RE", "DBT-RE"},
 	}
 	for _, name := range []string{"retailer", "housing"} {
@@ -53,13 +53,7 @@ func Fig11(cfg Fig11Config) *Table {
 		lift := sumLift(sumVar)
 		stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
 		opts := RunOptions{Timeout: cfg.Timeout}
-		cell := func(r RunResult) string {
-			s := fmtTput(r.Throughput)
-			if r.TimedOut {
-				s += "*"
-			}
-			return s
-		}
+		cell := fmtTputRes
 
 		fivm, err := ivm.New[float64](ds.Query, ds.NewOrder(), ring.Float{}, lift,
 			ivm.Options[float64]{ComposeChains: true})

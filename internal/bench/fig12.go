@@ -95,11 +95,7 @@ func Fig12(cfg Fig12Config) *Table {
 				ds := g.gen()
 				stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), bs)
 				res := RunStream(s.name, s.mk(ds), stream, RunOptions{Timeout: cfg.Timeout})
-				cellStr := fmtTput(res.Throughput)
-				if res.TimedOut {
-					cellStr += "*"
-				}
-				row = append(row, cellStr)
+				row = append(row, fmtTputRes(res))
 			}
 			t.Rows = append(t.Rows, row)
 		}

@@ -115,7 +115,7 @@ func TriangleIndicator(cfg Fig13Config) *Table {
 		if ind {
 			name = "with ∃_{A,B}R"
 		}
-		t.AddRow(name, count, vcSize(e), fmtTput(res.Throughput), fmtMem(res.PeakMem))
+		t.AddRow(name, count, vcSize(e), fmtTputRes(res), fmtMem(res.PeakMem))
 	}
 	return t
 }

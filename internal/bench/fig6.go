@@ -114,18 +114,21 @@ func Fig6Left(cfg Fig6Config) *Table {
 				panic(err)
 			}
 		})
-		rowDelta := func() *data.Relation[float64] {
+		rowDelta := func() ivm.NamedDelta[float64] {
 			i, row := randomRow(rng, n)
 			d, _ := mcm.RowUpdate(n, i, row)
-			return mcm.MatrixToRelation(d, mcm.VarName(2), mcm.VarName(3))
+			return ivm.NamedDelta[float64]{
+				Rel:   mcm.MatName(2),
+				Delta: mcm.MatrixToRelation(d, mcm.VarName(2), mcm.VarName(3)),
+			}
 		}
 		t1IVM := timeIt(cfg.Updates, func() {
-			if err := first.ApplyDelta(mcm.MatName(2), rowDelta()); err != nil {
+			if err := first.ApplyDeltas([]ivm.NamedDelta[float64]{rowDelta()}); err != nil {
 				panic(err)
 			}
 		})
 		tRE := timeIt(cfg.Updates, func() {
-			if err := re.ApplyDelta(mcm.MatName(2), rowDelta()); err != nil {
+			if err := re.ApplyDeltas([]ivm.NamedDelta[float64]{rowDelta()}); err != nil {
 				panic(err)
 			}
 		})
@@ -180,7 +183,11 @@ func Fig6Right(cfg Fig6Config) *Table {
 		})
 		tR := timeIt(cfg.Updates, func() {
 			d, _ := matrix.RandomRank(n, n, r, rng)
-			if err := re.ApplyDelta(mcm.MatName(2), mcm.MatrixToRelation(d, mcm.VarName(2), mcm.VarName(3))); err != nil {
+			batch := []ivm.NamedDelta[float64]{{
+				Rel:   mcm.MatName(2),
+				Delta: mcm.MatrixToRelation(d, mcm.VarName(2), mcm.VarName(3)),
+			}}
+			if err := re.ApplyDeltas(batch); err != nil {
 				panic(err)
 			}
 		})

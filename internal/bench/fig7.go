@@ -14,7 +14,10 @@ type Fig7Config struct {
 	// Timeout bounds each strategy's run (the paper's one-hour limit,
 	// scaled down); the scalar per-aggregate strategies are expected to
 	// hit it.
-	Timeout  time.Duration
+	Timeout time.Duration
+	// Group is the number of stream batches applied per ApplyDeltas call
+	// (default 1); see RunOptions.Group.
+	Group    int
 	Retailer datasets.RetailerConfig
 	Housing  datasets.HousingConfig
 	// IncludeScalar adds the per-aggregate DBT and 1-IVM competitors
@@ -53,7 +56,7 @@ func Fig7(cfg Fig7Config) []*Table {
 	cs := newCofactorStrategies(ds.Query)
 	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
 	oneStream := datasets.SingleRelationStream(ds, ds.Largest, cfg.BatchSize)
-	opts := RunOptions{Timeout: cfg.Timeout}
+	opts := RunOptions{Timeout: cfg.Timeout, Group: cfg.Group}
 
 	var results []RunResult
 	run := func(name string, l Loader, s []datasets.Batch) {
@@ -138,10 +141,10 @@ func Fig7(cfg Fig7Config) []*Table {
 func fig7Tables(title string, results []RunResult) []*Table {
 	sum := &Table{
 		Title:  title,
-		Header: []string{"strategy", "views", "tuples", "elapsed", "throughput", "peak mem", "timed out"},
+		Header: []string{"strategy", "views", "tuples", "elapsed", "throughput", "peak mem", "status"},
 	}
 	for _, r := range results {
-		sum.AddRow(r.Name, r.Views, r.Tuples, fmtDur(r.Elapsed.Seconds()), fmtTput(r.Throughput), fmtMem(r.PeakMem), r.TimedOut)
+		sum.AddRow(r.Name, r.Views, r.Tuples, fmtDur(r.Elapsed.Seconds()), fmtTput(r.Throughput), fmtMem(r.PeakMem), r.Status())
 	}
 
 	trace := &Table{

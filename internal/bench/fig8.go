@@ -45,9 +45,16 @@ type resultLoader struct {
 	to func(b datasets.Batch) *data.Relation[int64]
 }
 
-func (l resultLoader) ApplyBatch(b datasets.Batch) error { return l.r.ApplyDelta(b.Rel, l.to(b)) }
-func (l resultLoader) ViewCount() int                    { return l.r.ViewCount() }
-func (l resultLoader) MemoryBytes() int                  { return l.r.MemoryBytes() }
+func (l resultLoader) ApplyBatches(bs []datasets.Batch) error {
+	for _, b := range bs {
+		if err := l.r.ApplyDelta(b.Rel, l.to(b)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (l resultLoader) ViewCount() int   { return l.r.ViewCount() }
+func (l resultLoader) MemoryBytes() int { return l.r.MemoryBytes() }
 
 // Fig8Retailer regenerates Figure 8 (left): maintaining the Retailer
 // natural join under updates to the largest relation, with the three result
@@ -85,7 +92,7 @@ func Fig8Retailer(cfg Fig8Config) []*Table {
 func Fig8Housing(cfg Fig8Config) *Table {
 	t := &Table{
 		Title:  "Figure 8 (right): Housing natural join across scale factors",
-		Note:   "total maintenance time and final memory per representation",
+		Note:   "total maintenance time and final memory per representation; * = timeout, ! = error",
 		Header: []string{"scale", "Fact time", "List-payload time", "List-key time", "Fact mem", "List-payload mem", "List-key mem"},
 	}
 	for _, scale := range cfg.Scales {
@@ -97,6 +104,7 @@ func Fig8Housing(cfg Fig8Config) *Table {
 
 		times := make(map[factorized.Mode]float64)
 		mems := make(map[factorized.Mode]int)
+		failed := make(map[factorized.Mode]bool)
 		for _, mode := range []factorized.Mode{factorized.FactPayloads, factorized.ListPayloads, factorized.ListKeys} {
 			r, err := factorized.New(mode, jq, ds.NewOrder(), nil)
 			if err != nil {
@@ -106,16 +114,21 @@ func Fig8Housing(cfg Fig8Config) *Table {
 			res := RunStream(mode.String(), resultLoader{r: r, to: intDelta(jq)}, stream, RunOptions{Timeout: cfg.Timeout})
 			times[mode] = res.Elapsed.Seconds()
 			mems[mode] = res.PeakMem
+			failed[mode] = res.Err != nil
 			if res.TimedOut {
 				times[mode] = -times[mode] // mark timeouts with a sign
 			}
 		}
 		fmtT := func(m factorized.Mode) string {
 			s := times[m]
+			out := fmtDur(s)
 			if s < 0 {
-				return fmtDur(-s) + "*"
+				out = fmtDur(-s) + "*"
 			}
-			return fmtDur(s)
+			if failed[m] {
+				out += "!"
+			}
+			return out
 		}
 		t.AddRow(scale, fmtT(factorized.FactPayloads), fmtT(factorized.ListPayloads), fmtT(factorized.ListKeys),
 			fmtMem(mems[factorized.FactPayloads]), fmtMem(mems[factorized.ListPayloads]), fmtMem(mems[factorized.ListKeys]))

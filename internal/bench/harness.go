@@ -33,6 +33,21 @@ type RunResult struct {
 	Views      int
 	PeakMem    int
 	TimedOut   bool
+	// Err is the maintenance error that aborted the run, if any; the stats
+	// cover the prefix processed before the failure.
+	Err error
+}
+
+// Status renders the run's terminal state for summary tables.
+func (r RunResult) Status() string {
+	switch {
+	case r.Err != nil:
+		return "error: " + r.Err.Error()
+	case r.TimedOut:
+		return "timeout"
+	default:
+		return "ok"
+	}
 }
 
 // RunOptions configures a stream run.
@@ -43,40 +58,85 @@ type RunOptions struct {
 	// no timeout. The paper uses a one-hour timeout; scaled-down runs use
 	// seconds.
 	Timeout time.Duration
+	// Group is the number of consecutive stream batches handed to the
+	// maintainer per ApplyBatches call (default 1). Larger groups exercise
+	// the batched ApplyDeltas path: deltas to the same relation coalesce and
+	// each maintenance plan runs once per group.
+	Group int
 }
 
 // Loader abstracts the subset of a maintenance strategy the harness drives.
 // ivm.Maintainer[P] satisfies it for every payload type via maintainerAdapter.
 type Loader interface {
-	ApplyBatch(b datasets.Batch) error
+	// ApplyBatches applies a group of stream batches as one batched update.
+	ApplyBatches(bs []datasets.Batch) error
 	ViewCount() int
 	MemoryBytes() int
 }
 
 // maintainerAdapter adapts an ivm.Maintainer[P] plus a payload constructor
-// into a Loader.
+// into a Loader, reusing its NamedDelta scratch across calls.
 type maintainerAdapter[P any] struct {
 	m       ivm.Maintainer[P]
 	toDelta func(b datasets.Batch) *data.Relation[P]
+	scratch []ivm.NamedDelta[P]
+	tuples  map[string][]data.Tuple
+	order   []string
 }
 
-func (a maintainerAdapter[P]) ApplyBatch(b datasets.Batch) error {
-	return a.m.ApplyDelta(b.Rel, a.toDelta(b))
+// ApplyBatches concatenates the group's tuples per relation before building
+// deltas, so the maintainer receives at most one delta per relation and its
+// coalescing never has to copy. Pre-merging across the group's interleaving
+// is exact because the maintained state depends only on the final database.
+func (a *maintainerAdapter[P]) ApplyBatches(bs []datasets.Batch) error {
+	a.scratch = a.scratch[:0]
+	if len(bs) == 1 {
+		a.scratch = append(a.scratch, ivm.NamedDelta[P]{Rel: bs[0].Rel, Delta: a.toDelta(bs[0])})
+		return a.m.ApplyDeltas(a.scratch)
+	}
+	if a.tuples == nil {
+		a.tuples = make(map[string][]data.Tuple)
+	}
+	a.order = a.order[:0]
+	for _, b := range bs {
+		// Accumulated slices are reset to length 0 (keeping capacity) after
+		// every call, so an empty slice marks a relation not yet seen in
+		// this group.
+		ts := a.tuples[b.Rel]
+		if len(ts) == 0 && len(b.Tuples) > 0 {
+			a.order = append(a.order, b.Rel)
+		}
+		a.tuples[b.Rel] = append(ts, b.Tuples...)
+	}
+	for _, rel := range a.order {
+		a.scratch = append(a.scratch, ivm.NamedDelta[P]{
+			Rel:   rel,
+			Delta: a.toDelta(datasets.Batch{Rel: rel, Tuples: a.tuples[rel]}),
+		})
+		a.tuples[rel] = a.tuples[rel][:0]
+	}
+	return a.m.ApplyDeltas(a.scratch)
 }
-func (a maintainerAdapter[P]) ViewCount() int   { return a.m.ViewCount() }
-func (a maintainerAdapter[P]) MemoryBytes() int { return a.m.MemoryBytes() }
+func (a *maintainerAdapter[P]) ViewCount() int   { return a.m.ViewCount() }
+func (a *maintainerAdapter[P]) MemoryBytes() int { return a.m.MemoryBytes() }
 
 // Adapt wraps a maintainer and a delta builder into a Loader.
 func Adapt[P any](m ivm.Maintainer[P], toDelta func(b datasets.Batch) *data.Relation[P]) Loader {
-	return maintainerAdapter[P]{m: m, toDelta: toDelta}
+	return &maintainerAdapter[P]{m: m, toDelta: toDelta}
 }
 
-// RunStream drives the loader through the stream, sampling throughput and
-// memory at evenly spaced fractions.
+// RunStream drives the loader through the stream in groups of opts.Group
+// batches, sampling throughput and memory at evenly spaced fractions.
+// Maintenance errors abort the run and are reported in RunResult.Err rather
+// than panicking, so CLI runs degrade gracefully.
 func RunStream(name string, l Loader, stream []datasets.Batch, opts RunOptions) RunResult {
 	samples := opts.Samples
 	if samples <= 0 {
 		samples = 10
+	}
+	group := opts.Group
+	if group <= 0 {
+		group = 1
 	}
 	total := 0
 	for _, b := range stream {
@@ -95,11 +155,15 @@ func RunStream(name string, l Loader, stream []datasets.Batch, opts RunOptions) 
 		nextSample = 1
 	}
 	threshold := nextSample
-	for _, b := range stream {
-		if err := l.ApplyBatch(b); err != nil {
-			panic(fmt.Sprintf("bench: %s: %v", name, err))
+	for at := 0; at < len(stream); at += group {
+		g := stream[at:min(at+group, len(stream))]
+		if err := l.ApplyBatches(g); err != nil {
+			res.Err = fmt.Errorf("bench: %s: %w", name, err)
+			break
 		}
-		processed += len(b.Tuples)
+		for _, b := range g {
+			processed += len(b.Tuples)
+		}
 		if processed >= threshold || processed == total {
 			el := time.Since(start)
 			mem := l.MemoryBytes()
@@ -112,7 +176,9 @@ func RunStream(name string, l Loader, stream []datasets.Batch, opts RunOptions) 
 				MemBytes:   mem,
 				ElapsedSec: el.Seconds(),
 			})
-			threshold += nextSample
+			for threshold <= processed {
+				threshold += nextSample
+			}
 		}
 		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
 			res.TimedOut = true
@@ -143,6 +209,20 @@ func fmtMem(b int) string {
 	default:
 		return fmt.Sprintf("%dB", b)
 	}
+}
+
+// fmtTputRes renders a run's throughput with the harness's standard
+// markers: "*" for a timeout, "!" for a run aborted by a maintenance error
+// (stats then cover the processed prefix only).
+func fmtTputRes(r RunResult) string {
+	s := fmtTput(r.Throughput)
+	if r.TimedOut {
+		s += "*"
+	}
+	if r.Err != nil {
+		s += "!"
+	}
+	return s
 }
 
 // fmtTput renders a throughput figure compactly.

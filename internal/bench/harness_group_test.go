@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+
+	"fivm/internal/data"
+	"fivm/internal/datasets"
+	"fivm/internal/ivm"
+	"fivm/internal/ring"
+)
+
+func countLiftInt(string, data.Value) int64 { return 1 }
+
+// TestAdaptGroupedMatchesSequential drives the same stream through the
+// adapter with group sizes 1, 3, and 7 (multiple ApplyBatches calls each, so
+// adapter scratch state carries across calls) and demands identical final
+// results. Regression test: a stale per-relation scratch entry once caused
+// every group after the first call to be dropped silently.
+func TestAdaptGroupedMatchesSequential(t *testing.T) {
+	ds := datasets.GenRetailer(tinyRetailer())
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), 10)
+	if len(stream) < 8 {
+		t.Fatalf("stream too short (%d batches) to exercise grouping", len(stream))
+	}
+
+	results := map[int]string{}
+	tuples := map[int]int{}
+	for _, group := range []int{1, 3, 7} {
+		m, err := ivm.New[int64](ds.Query, ds.NewOrder(), ring.Int{}, countLiftInt, ivm.Options[int64]{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Init(); err != nil {
+			t.Fatal(err)
+		}
+		l := Adapt[int64](m, intDelta(ds.Query))
+		res := RunStream("group", l, stream, RunOptions{Group: group})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		results[group] = m.Result().String()
+		tuples[group] = res.Tuples
+	}
+	for _, group := range []int{3, 7} {
+		if results[group] != results[1] {
+			t.Errorf("group=%d result diverged:\n  %s\nvs\n  %s", group, results[group], results[1])
+		}
+		if tuples[group] != tuples[1] {
+			t.Errorf("group=%d processed %d tuples, sequential %d", group, tuples[group], tuples[1])
+		}
+	}
+}
+
+// TestRunStreamPropagatesError checks that a failing maintainer surfaces the
+// error in RunResult instead of panicking.
+func TestRunStreamPropagatesError(t *testing.T) {
+	ds := datasets.GenRetailer(tinyRetailer())
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), 10)
+	boom := errors.New("boom")
+	calls := 0
+	l := loaderFunc{apply: func(b datasets.Batch) error {
+		calls++
+		if calls > 2 {
+			return boom
+		}
+		return nil
+	}}
+	res := RunStream("failing", l, stream, RunOptions{})
+	if res.Err == nil || !errors.Is(res.Err, boom) {
+		t.Fatalf("Err = %v, want wrapped boom", res.Err)
+	}
+	if res.Status() == "ok" {
+		t.Error("Status should reflect the failure")
+	}
+	if res.Tuples == 0 {
+		t.Error("prefix stats should be kept")
+	}
+}

@@ -55,7 +55,7 @@ func TestMergeAllAndSingleton(t *testing.T) {
 		t.Errorf("MergeAll sum = %v", p)
 	}
 	c := FromEntries[int64](ring.Int{}, NewSchema("A"),
-		Entry[int64]{Ints(1), 1}, Entry[int64]{Ints(1), 1})
+		Entry[int64]{Tuple: Ints(1), Payload: 1}, Entry[int64]{Tuple: Ints(1), Payload: 1})
 	if p, _ := c.Get(Ints(1)); p != 2 {
 		t.Errorf("FromEntries dedup = %v", p)
 	}

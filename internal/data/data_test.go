@@ -182,11 +182,11 @@ func TestExample21(t *testing.T) {
 	rg := ring.Int{}
 	r1, r2, s1, s2, t1, t2 := int64(2), int64(3), int64(5), int64(7), int64(11), int64(13)
 	R := FromEntries[int64](rg, NewSchema("A", "B"),
-		Entry[int64]{Ints(1, 1), r1}, Entry[int64]{Ints(2, 1), r2})
+		Entry[int64]{Tuple: Ints(1, 1), Payload: r1}, Entry[int64]{Tuple: Ints(2, 1), Payload: r2})
 	S := FromEntries[int64](rg, NewSchema("A", "B"),
-		Entry[int64]{Ints(2, 1), s1}, Entry[int64]{Ints(3, 2), s2})
+		Entry[int64]{Tuple: Ints(2, 1), Payload: s1}, Entry[int64]{Tuple: Ints(3, 2), Payload: s2})
 	T := FromEntries[int64](rg, NewSchema("B", "C"),
-		Entry[int64]{Ints(1, 1), t1}, Entry[int64]{Ints(2, 2), t2})
+		Entry[int64]{Tuple: Ints(1, 1), Payload: t1}, Entry[int64]{Tuple: Ints(2, 2), Payload: t2})
 
 	u := Union(R, S)
 	if p, _ := u.Get(Ints(2, 1)); p != r2+s1 {
@@ -223,8 +223,8 @@ func TestExample21(t *testing.T) {
 
 func TestJoinPayloadOrderAndSchema(t *testing.T) {
 	rg := ring.Int{}
-	a := FromEntries[int64](rg, NewSchema("A", "B"), Entry[int64]{Ints(1, 2), 5})
-	b := FromEntries[int64](rg, NewSchema("B", "C"), Entry[int64]{Ints(2, 3), 7})
+	a := FromEntries[int64](rg, NewSchema("A", "B"), Entry[int64]{Tuple: Ints(1, 2), Payload: 5})
+	b := FromEntries[int64](rg, NewSchema("B", "C"), Entry[int64]{Tuple: Ints(2, 3), Payload: 7})
 	j := Join(a, b)
 	if !j.Schema().Equal(NewSchema("A", "B", "C")) {
 		t.Errorf("schema = %v", j.Schema())
@@ -233,7 +233,7 @@ func TestJoinPayloadOrderAndSchema(t *testing.T) {
 		t.Errorf("payload = %v", p)
 	}
 	// Disjoint schemas: Cartesian product.
-	c := FromEntries[int64](rg, NewSchema("D"), Entry[int64]{Ints(9), 2}, Entry[int64]{Ints(8), 3})
+	c := FromEntries[int64](rg, NewSchema("D"), Entry[int64]{Tuple: Ints(9), Payload: 2}, Entry[int64]{Tuple: Ints(8), Payload: 3})
 	x := Join(a, c)
 	if x.Len() != 2 {
 		t.Errorf("Cartesian len = %d", x.Len())
@@ -243,8 +243,8 @@ func TestJoinPayloadOrderAndSchema(t *testing.T) {
 func TestMarginalizeVarsMultiple(t *testing.T) {
 	rg := ring.Int{}
 	r := FromEntries[int64](rg, NewSchema("A", "B", "C"),
-		Entry[int64]{Ints(1, 2, 3), 1},
-		Entry[int64]{Ints(1, 4, 5), 1})
+		Entry[int64]{Tuple: Ints(1, 2, 3), Payload: 1},
+		Entry[int64]{Tuple: Ints(1, 4, 5), Payload: 1})
 	lift := func(v string, x Value) int64 { return x.AsInt() }
 	m := MarginalizeVars(r, NewSchema("B", "C"), lift)
 	if !m.Schema().Equal(NewSchema("A")) {
@@ -258,7 +258,7 @@ func TestMarginalizeVarsMultiple(t *testing.T) {
 func TestProjectSums(t *testing.T) {
 	rg := ring.Int{}
 	r := FromEntries[int64](rg, NewSchema("A", "B"),
-		Entry[int64]{Ints(1, 1), 2}, Entry[int64]{Ints(1, 2), 3})
+		Entry[int64]{Tuple: Ints(1, 1), Payload: 2}, Entry[int64]{Tuple: Ints(1, 2), Payload: 3})
 	p := Project(r, NewSchema("A"))
 	if got, _ := p.Get(Ints(1)); got != 5 {
 		t.Errorf("Project sum = %v", got)

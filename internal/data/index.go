@@ -3,106 +3,140 @@ package data
 import "fmt"
 
 // Index is a secondary hash index over a relation: it maps the encoded
-// projection of each key onto an index schema to the set of primary keys
-// sharing that projection. Delta propagation probes sibling views through
-// indexes to enumerate join partners without scanning.
-type Index struct {
+// projection of each key onto an index schema to the set of entries sharing
+// that projection. Buckets hold the relation's entry pointers directly, so a
+// probe yields tuples and payloads without a second lookup in the primary
+// table. Delta propagation probes sibling views through indexes to
+// enumerate join partners without scanning.
+type Index[P any] struct {
 	on      Schema
 	proj    Projector
-	buckets map[string]map[string]struct{}
+	buckets map[string]map[*Entry[P]]struct{}
+	keyBuf  []byte
 }
 
 // NewIndex creates an empty index over the given relation schema, keyed by
 // the on-variables.
-func NewIndex(relSchema, on Schema) *Index {
-	return &Index{
+func NewIndex[P any](relSchema, on Schema) *Index[P] {
+	return &Index[P]{
 		on:      on,
 		proj:    MustProjector(relSchema, on),
-		buckets: make(map[string]map[string]struct{}),
+		buckets: make(map[string]map[*Entry[P]]struct{}),
 	}
 }
 
 // On returns the index key schema.
-func (ix *Index) On() Schema { return ix.on }
+func (ix *Index[P]) On() Schema { return ix.on }
 
-// Add records that primary key pk (whose tuple is t) is present.
-func (ix *Index) Add(pk string, t Tuple) {
-	k := ix.proj.Key(t)
-	b := ix.buckets[k]
-	if b == nil {
-		b = make(map[string]struct{})
-		ix.buckets[k] = b
+// Add records that entry e is present in the relation.
+func (ix *Index[P]) Add(e *Entry[P]) {
+	ix.keyBuf = ix.proj.AppendKey(ix.keyBuf[:0], e.Tuple)
+	b, ok := ix.buckets[string(ix.keyBuf)]
+	if !ok {
+		b = make(map[*Entry[P]]struct{})
+		ix.buckets[string(ix.keyBuf)] = b
 	}
-	b[pk] = struct{}{}
+	b[e] = struct{}{}
 }
 
-// Remove records that primary key pk (whose tuple is t) is gone.
-func (ix *Index) Remove(pk string, t Tuple) {
-	k := ix.proj.Key(t)
-	if b := ix.buckets[k]; b != nil {
-		delete(b, pk)
+// Remove records that entry e is gone from the relation.
+func (ix *Index[P]) Remove(e *Entry[P]) {
+	ix.keyBuf = ix.proj.AppendKey(ix.keyBuf[:0], e.Tuple)
+	if b, ok := ix.buckets[string(ix.keyBuf)]; ok {
+		delete(b, e)
 		if len(b) == 0 {
-			delete(ix.buckets, k)
+			delete(ix.buckets, string(ix.keyBuf))
 		}
 	}
 }
 
-// Probe returns the primary keys whose projection matches the encoded key.
-// The returned map must not be modified.
-func (ix *Index) Probe(key string) map[string]struct{} { return ix.buckets[key] }
+// Probe returns the entries whose projection matches the encoded key. The
+// returned map must not be modified.
+func (ix *Index[P]) Probe(key string) map[*Entry[P]]struct{} { return ix.buckets[key] }
+
+// ProbeBytes is Probe for a key encoded in a caller-owned scratch buffer;
+// the lookup does not allocate.
+func (ix *Index[P]) ProbeBytes(key []byte) map[*Entry[P]]struct{} {
+	return ix.buckets[string(key)]
+}
 
 // Len returns the number of distinct index keys.
-func (ix *Index) Len() int { return len(ix.buckets) }
+func (ix *Index[P]) Len() int { return len(ix.buckets) }
 
 // IndexedRelation wraps a Relation with incrementally maintained secondary
 // indexes. Mutations must go through MergeIndexed (or Rebuild after bulk
 // loads) so the indexes stay consistent.
 type IndexedRelation[P any] struct {
 	*Relation[P]
-	indexes map[string]*Index
+	indexes map[string]*Index[P]
 }
 
 // NewIndexedRelation wraps an empty relation.
 func NewIndexedRelation[P any](rel *Relation[P]) *IndexedRelation[P] {
-	return &IndexedRelation[P]{Relation: rel, indexes: make(map[string]*Index)}
+	return &IndexedRelation[P]{Relation: rel, indexes: make(map[string]*Index[P])}
 }
 
 // EnsureIndex returns the index on the given variables, creating and
 // populating it from the current contents if needed.
-func (ir *IndexedRelation[P]) EnsureIndex(on Schema) *Index {
+func (ir *IndexedRelation[P]) EnsureIndex(on Schema) *Index[P] {
 	name := on.String()
 	if ix, ok := ir.indexes[name]; ok {
 		return ix
 	}
-	ix := NewIndex(ir.Schema(), on)
-	for pk, e := range ir.entries {
-		ix.Add(pk, e.Tuple)
+	ix := NewIndex[P](ir.Schema(), on)
+	for _, e := range ir.entries {
+		ix.Add(e)
 	}
 	ir.indexes[name] = ix
 	return ix
 }
 
 // Lookup returns the index on the given variables, or nil if absent.
-func (ir *IndexedRelation[P]) Lookup(on Schema) *Index {
+func (ir *IndexedRelation[P]) Lookup(on Schema) *Index[P] {
 	return ir.indexes[on.String()]
 }
 
 // MergeIndexed merges payload p under tuple t and keeps all indexes
 // consistent with key appearance and disappearance.
 func (ir *IndexedRelation[P]) MergeIndexed(t Tuple, p P) {
-	key := t.Key()
-	_, existed := ir.entries[key]
-	ir.MergeKey(key, t, p)
-	_, exists := ir.entries[key]
+	en, existed, exists := ir.mergeEntry(t, p)
 	switch {
 	case !existed && exists:
 		for _, ix := range ir.indexes {
-			ix.Add(key, t)
+			ix.Add(en)
 		}
 	case existed && !exists:
 		for _, ix := range ir.indexes {
-			ix.Remove(key, t)
+			ix.Remove(en)
 		}
+	}
+}
+
+// mergeProjectedIndexed is MergeIndexed for a projected tuple, materializing
+// the projection only on insert.
+func (ir *IndexedRelation[P]) mergeProjectedIndexed(proj Projector, t Tuple, p P) {
+	ir.keyBuf = proj.AppendKey(ir.keyBuf[:0], t)
+	en, ok := ir.entries[string(ir.keyBuf)]
+	if ok {
+		s := ir.ring.Add(en.Payload, p)
+		if ir.ring.IsZero(s) {
+			delete(ir.entries, en.key)
+			for _, ix := range ir.indexes {
+				ix.Remove(en)
+			}
+			return
+		}
+		en.Payload = s
+		return
+	}
+	if ir.ring.IsZero(p) {
+		return
+	}
+	key := string(ir.keyBuf)
+	en = &Entry[P]{key: key, Tuple: proj.Apply(t), Payload: p}
+	ir.entries[key] = en
+	for _, ix := range ir.indexes {
+		ix.Add(en)
 	}
 }
 
@@ -119,6 +153,6 @@ func (ir *IndexedRelation[P]) MergeAllIndexed(o *Relation[P]) {
 	}
 	proj := MustProjector(o.Schema(), ir.Schema())
 	for _, e := range o.entries {
-		ir.MergeIndexed(proj.Apply(e.Tuple), e.Payload)
+		ir.mergeProjectedIndexed(proj, e.Tuple, e.Payload)
 	}
 }

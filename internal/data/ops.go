@@ -17,7 +17,7 @@ func Union[P any](a, b *Relation[P]) *Relation[P] {
 	out := a.Clone()
 	proj := MustProjector(b.schema, a.schema)
 	for _, e := range b.entries {
-		out.Merge(proj.Apply(e.Tuple), e.Payload)
+		out.MergeProjected(proj, e.Tuple, e.Payload)
 	}
 	return out
 }
@@ -48,8 +48,10 @@ func Join[P any](a, b *Relation[P]) *Relation[P] {
 	}
 
 	aCommon := MustProjector(a.schema, common)
+	var buf []byte
 	for _, e := range a.entries {
-		matches := buckets[aCommon.Key(e.Tuple)]
+		buf = aCommon.AppendKey(buf[:0], e.Tuple)
+		matches := buckets[string(buf)]
 		for _, m := range matches {
 			out.Merge(Concat(e.Tuple, m.extra), a.ring.Mul(e.Payload, m.payload))
 		}
@@ -105,7 +107,7 @@ func MarginalizeVars[P any](r *Relation[P], vars Schema, lift LiftFunc[P]) *Rela
 			}
 			p = r.ring.Mul(p, lp)
 		}
-		out.Merge(proj.Apply(e.Tuple), p)
+		out.MergeProjected(proj, e.Tuple, p)
 	}
 	return out
 }
@@ -116,7 +118,7 @@ func Project[P any](r *Relation[P], target Schema) *Relation[P] {
 	out := NewRelation(r.ring, target)
 	proj := MustProjector(r.schema, target)
 	for _, e := range r.entries {
-		out.Merge(proj.Apply(e.Tuple), e.Payload)
+		out.MergeProjected(proj, e.Tuple, e.Payload)
 	}
 	return out
 }

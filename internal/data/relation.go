@@ -8,24 +8,36 @@ import (
 	"fivm/internal/ring"
 )
 
-// Entry is one key-payload pair of a relation.
+// Entry is one key-payload pair of a relation. Relations store entries by
+// pointer, so a payload update in place does not reallocate or re-hash; the
+// unexported key field caches the encoded tuple key for index maintenance
+// and deletion without re-encoding.
 type Entry[P any] struct {
+	key     string
 	Tuple   Tuple
 	Payload P
 }
 
+// Key returns the entry's encoded tuple key.
+func (e *Entry[P]) Key() string { return e.key }
+
 // Relation is a finite-support function from tuples over a schema to
 // payloads in a ring D: the paper's relations R : Dom(S) -> D. Keys with
 // payload 0 are not stored, so Len is the paper's |R|.
+//
+// Mutating and probing methods share a per-relation scratch buffer for key
+// encoding, so steady-state Get/Merge/Set do zero key allocations; as a
+// consequence a Relation must not be accessed concurrently, even for reads.
 type Relation[P any] struct {
 	schema  Schema
 	ring    ring.Ring[P]
-	entries map[string]Entry[P]
+	entries map[string]*Entry[P]
+	keyBuf  []byte
 }
 
 // NewRelation creates an empty relation over the given ring and schema.
 func NewRelation[P any](r ring.Ring[P], schema Schema) *Relation[P] {
-	return &Relation[P]{schema: schema, ring: r, entries: make(map[string]Entry[P])}
+	return &Relation[P]{schema: schema, ring: r, entries: make(map[string]*Entry[P])}
 }
 
 // Schema returns the relation's schema.
@@ -37,14 +49,53 @@ func (r *Relation[P]) Ring() ring.Ring[P] { return r.ring }
 // Len returns the number of keys with non-zero payloads.
 func (r *Relation[P]) Len() int { return len(r.entries) }
 
+// Reserve grows the entry table to hold at least n entries without
+// rehashing, a capacity hint for bulk loads and delta materialization.
+func (r *Relation[P]) Reserve(n int) {
+	if n <= len(r.entries) {
+		return
+	}
+	if len(r.entries) == 0 {
+		r.entries = make(map[string]*Entry[P], n)
+		return
+	}
+	m := make(map[string]*Entry[P], n)
+	for k, e := range r.entries {
+		m[k] = e
+	}
+	r.entries = m
+}
+
+// Clear removes every entry, retaining the table's capacity for reuse in
+// steady-state delta scratch relations.
+func (r *Relation[P]) Clear() { clear(r.entries) }
+
+// lookup returns the entry stored under tuple t, encoding the key into the
+// relation's scratch buffer (no allocation).
+func (r *Relation[P]) lookup(t Tuple) *Entry[P] {
+	r.keyBuf = t.AppendKey(r.keyBuf[:0])
+	return r.entries[string(r.keyBuf)]
+}
+
 // Get returns the payload of tuple t and whether it is non-zero.
 func (r *Relation[P]) Get(t Tuple) (P, bool) {
-	e, ok := r.entries[t.Key()]
-	if !ok {
-		var zero P
-		return zero, false
+	if e := r.lookup(t); e != nil {
+		return e.Payload, true
 	}
-	return e.Payload, true
+	var zero P
+	return zero, false
+}
+
+// GetProjected returns the payload stored under the projection of t by
+// proj (which must target r's schema), without materializing the projected
+// tuple or its key.
+func (r *Relation[P]) GetProjected(proj Projector, t Tuple) (P, bool) {
+	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
+	if e, ok := r.entries[string(r.keyBuf)]; ok {
+		return e.Payload, true
+	}
+	var zero P
+	return zero, false
 }
 
 // GetKey returns the payload stored under an encoded key.
@@ -58,16 +109,13 @@ func (r *Relation[P]) GetKey(key string) (P, bool) {
 }
 
 // EntryKey returns the full entry stored under an encoded key.
-func (r *Relation[P]) EntryKey(key string) (Entry[P], bool) {
+func (r *Relation[P]) EntryKey(key string) (*Entry[P], bool) {
 	e, ok := r.entries[key]
 	return e, ok
 }
 
 // Contains reports whether tuple t has a non-zero payload.
-func (r *Relation[P]) Contains(t Tuple) bool {
-	_, ok := r.entries[t.Key()]
-	return ok
-}
+func (r *Relation[P]) Contains(t Tuple) bool { return r.lookup(t) != nil }
 
 // ContainsKey reports whether the encoded key has a non-zero payload.
 func (r *Relation[P]) ContainsKey(key string) bool {
@@ -77,32 +125,78 @@ func (r *Relation[P]) ContainsKey(key string) bool {
 
 // Set assigns payload p to tuple t, deleting the key if p is zero.
 func (r *Relation[P]) Set(t Tuple, p P) {
-	key := t.Key()
-	if r.ring.IsZero(p) {
-		delete(r.entries, key)
+	if e := r.lookup(t); e != nil {
+		if r.ring.IsZero(p) {
+			delete(r.entries, e.key)
+			return
+		}
+		e.Payload = p
 		return
 	}
-	r.entries[key] = Entry[P]{Tuple: t, Payload: p}
+	if r.ring.IsZero(p) {
+		return
+	}
+	key := string(r.keyBuf) // lookup left t's encoding in the scratch buffer
+	r.entries[key] = &Entry[P]{key: key, Tuple: t, Payload: p}
+}
+
+// mergeEntry adds p to the payload of tuple t and reports the affected entry
+// together with its presence transition (existed before, exists after), so
+// index maintenance can react to appearance and disappearance.
+func (r *Relation[P]) mergeEntry(t Tuple, p P) (en *Entry[P], existed, exists bool) {
+	if e := r.lookup(t); e != nil {
+		s := r.ring.Add(e.Payload, p)
+		if r.ring.IsZero(s) {
+			delete(r.entries, e.key)
+			return e, true, false
+		}
+		e.Payload = s
+		return e, true, true
+	}
+	if r.ring.IsZero(p) {
+		return nil, false, false
+	}
+	key := string(r.keyBuf) // lookup left t's encoding in the scratch buffer
+	e := &Entry[P]{key: key, Tuple: t, Payload: p}
+	r.entries[key] = e
+	return e, false, true
 }
 
 // Merge adds p to the payload of tuple t (the pointwise union operator ⊎
 // applied to a single key), deleting the key if the sum vanishes. It returns
 // the new payload.
 func (r *Relation[P]) Merge(t Tuple, p P) P {
-	key := t.Key()
-	if e, ok := r.entries[key]; ok {
+	en, _, exists := r.mergeEntry(t, p)
+	if exists {
+		return en.Payload
+	}
+	var zero P
+	if en != nil {
+		return zero // cancelled to zero
+	}
+	return p // zero merge into absent key
+}
+
+// MergeProjected merges payload p under the projection of t by proj (which
+// must target r's schema). The projected tuple is materialized only when a
+// new entry is inserted, so steady-state projected merges do zero
+// allocations.
+func (r *Relation[P]) MergeProjected(proj Projector, t Tuple, p P) {
+	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
+	if e, ok := r.entries[string(r.keyBuf)]; ok {
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
-			delete(r.entries, key)
-			return s
+			delete(r.entries, e.key)
+			return
 		}
-		r.entries[key] = Entry[P]{Tuple: e.Tuple, Payload: s}
-		return s
+		e.Payload = s
+		return
 	}
-	if !r.ring.IsZero(p) {
-		r.entries[key] = Entry[P]{Tuple: t, Payload: p}
+	if r.ring.IsZero(p) {
+		return
 	}
-	return p
+	key := string(r.keyBuf)
+	r.entries[key] = &Entry[P]{key: key, Tuple: proj.Apply(t), Payload: p}
 }
 
 // MergeKey is Merge for a pre-encoded key.
@@ -113,11 +207,11 @@ func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
 			delete(r.entries, key)
 			return
 		}
-		r.entries[key] = Entry[P]{Tuple: e.Tuple, Payload: s}
+		e.Payload = s
 		return
 	}
 	if !r.ring.IsZero(p) {
-		r.entries[key] = Entry[P]{Tuple: t, Payload: p}
+		r.entries[key] = &Entry[P]{key: key, Tuple: t, Payload: p}
 	}
 }
 
@@ -139,11 +233,21 @@ func (r *Relation[P]) Iterate(f func(t Tuple, p P) bool) {
 	}
 }
 
-// Entries returns the entries in unspecified order.
+// IterateEntries calls f for each stored entry until f returns false. The
+// entries are owned by the relation and must not be mutated.
+func (r *Relation[P]) IterateEntries(f func(e *Entry[P]) bool) {
+	for _, e := range r.entries {
+		if !f(e) {
+			return
+		}
+	}
+}
+
+// Entries returns copies of the entries in unspecified order.
 func (r *Relation[P]) Entries() []Entry[P] {
 	out := make([]Entry[P], 0, len(r.entries))
 	for _, e := range r.entries {
-		out = append(out, e)
+		out = append(out, *e)
 	}
 	return out
 }
@@ -158,17 +262,18 @@ func (r *Relation[P]) SortedEntries() []Entry[P] {
 	sort.Strings(keys)
 	out := make([]Entry[P], 0, len(keys))
 	for _, k := range keys {
-		out = append(out, r.entries[k])
+		out = append(out, *r.entries[k])
 	}
 	return out
 }
 
-// Clone returns a copy sharing payloads (payloads are immutable by the ring
-// contract) but no map structure.
+// Clone returns a copy sharing tuples and payloads (payloads are immutable
+// by the ring contract) but no entry or map structure.
 func (r *Relation[P]) Clone() *Relation[P] {
-	out := &Relation[P]{schema: r.schema, ring: r.ring, entries: make(map[string]Entry[P], len(r.entries))}
+	out := &Relation[P]{schema: r.schema, ring: r.ring, entries: make(map[string]*Entry[P], len(r.entries))}
 	for k, e := range r.entries {
-		out.entries[k] = e
+		c := *e
+		out.entries[k] = &c
 	}
 	return out
 }
@@ -177,9 +282,9 @@ func (r *Relation[P]) Clone() *Relation[P] {
 // of its payload. A deletion of the tuples of r is expressed as merging
 // r.Negate().
 func (r *Relation[P]) Negate() *Relation[P] {
-	out := NewRelation(r.ring, r.schema)
+	out := &Relation[P]{schema: r.schema, ring: r.ring, entries: make(map[string]*Entry[P], len(r.entries))}
 	for k, e := range r.entries {
-		out.entries[k] = Entry[P]{Tuple: e.Tuple, Payload: r.ring.Neg(e.Payload)}
+		out.entries[k] = &Entry[P]{key: e.key, Tuple: e.Tuple, Payload: r.ring.Neg(e.Payload)}
 	}
 	return out
 }
@@ -191,8 +296,10 @@ func (r *Relation[P]) Equal(o *Relation[P], eq func(a, b P) bool) bool {
 		return false
 	}
 	proj := MustProjector(o.schema, r.schema)
+	var buf []byte
 	for _, e := range o.entries {
-		p, ok := r.entries[proj.Key(e.Tuple)]
+		buf = proj.AppendKey(buf[:0], e.Tuple)
+		p, ok := r.entries[string(buf)]
 		if !ok || !eq(p.Payload, e.Payload) {
 			return false
 		}

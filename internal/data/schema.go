@@ -150,6 +150,15 @@ func (p Projector) Apply(t Tuple) Tuple {
 	return out
 }
 
+// AppendTo appends the projection of src to dst and returns the extended
+// tuple, letting callers build a concatenated tuple in one allocation.
+func (p Projector) AppendTo(dst, src Tuple) Tuple {
+	for _, j := range p.idx {
+		dst = append(dst, src[j])
+	}
+	return dst
+}
+
 // AppendKey appends the binary key encoding of the projection of t to b,
 // avoiding the intermediate tuple allocation of Apply().Key().
 func (p Projector) AppendKey(b []byte, t Tuple) []byte {

@@ -110,17 +110,25 @@ func (v Value) appendKey(b []byte) []byte {
 // Tuple is an ordered list of values laid out according to some Schema.
 type Tuple []Value
 
+// AppendKey appends the compact binary key encoding of the tuple to b and
+// returns the extended slice. Callers on hot paths keep a scratch buffer and
+// pass buf[:0], so steady-state key construction does zero allocations; the
+// resulting bytes are valid as a map probe via string(b) (which the compiler
+// compiles to an allocation-free lookup).
+func (t Tuple) AppendKey(b []byte) []byte {
+	for _, v := range t {
+		b = v.appendKey(b)
+	}
+	return b
+}
+
 // Key returns a compact binary encoding of the tuple, usable as a map key.
 // Two tuples have equal keys iff they are equal value-wise.
 func (t Tuple) Key() string {
 	if len(t) == 0 {
 		return ""
 	}
-	b := make([]byte, 0, 9*len(t))
-	for _, v := range t {
-		b = v.appendKey(b)
-	}
-	return string(b)
+	return string(t.AppendKey(make([]byte, 0, 9*len(t))))
 }
 
 // Equal reports value-wise equality.

@@ -1,0 +1,66 @@
+package ivm
+
+import (
+	"math/rand"
+	"testing"
+
+	"fivm/internal/data"
+	"fivm/internal/ring"
+)
+
+// benchEngine builds the paper-query engine preloaded with random contents,
+// plus a fixed set of single-tuple deltas to replay.
+func benchEngine(b *testing.B) (*Engine[int64], []*data.Relation[int64]) {
+	b.Helper()
+	q := paperQuery()
+	rng := rand.New(rand.NewSource(99))
+	e, err := New[int64](q, paperOrder(), ring.Int{}, countLift, Options[int64]{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rd := range q.Rels {
+		if err := e.Load(rd.Name, randomDelta(rng, rd.Schema, 16, 400)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Init(); err != nil {
+		b.Fatal(err)
+	}
+	rd, _ := q.Rel("S")
+	deltas := make([]*data.Relation[int64], 64)
+	for i := range deltas {
+		deltas[i] = randomDelta(rng, rd.Schema, 16, 1)
+	}
+	return e, deltas
+}
+
+// BenchmarkApplyDelta measures single-tuple delta propagation through the
+// F-IVM view tree: the paper's per-update hot path.
+func BenchmarkApplyDelta(b *testing.B) {
+	e, deltas := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.ApplyDelta("S", deltas[i%len(deltas)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyDeltas measures the batched path: 8 single-tuple updates to
+// one relation coalesce into one leaf-to-root traversal. Reported per batch;
+// divide by 8 for per-update cost.
+func BenchmarkApplyDeltas(b *testing.B) {
+	e, deltas := benchEngine(b)
+	batch := make([]NamedDelta[int64], 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = NamedDelta[int64]{Rel: "S", Delta: deltas[(i*8+j)%len(deltas)]}
+		}
+		if err := e.ApplyDeltas(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,6 +26,10 @@ type Maintainer[P any] interface {
 	// ApplyDelta maintains the result under an update to one relation.
 	// Deletions are encoded as entries with additively inverted payloads.
 	ApplyDelta(rel string, delta *data.Relation[P]) error
+	// ApplyDeltas maintains the result under a batch of updates to any mix
+	// of relations, equivalent to applying them in order via ApplyDelta but
+	// traversing each maintenance path once per batch.
+	ApplyDeltas(batch []NamedDelta[P]) error
 	// Result returns the maintained query result.
 	Result() *data.Relation[P]
 	// ViewCount reports how many views the strategy materializes.

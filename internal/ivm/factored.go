@@ -156,13 +156,14 @@ func joinSiblingFactored[P any](e *Engine[P], factors []*data.Relation[P], sibli
 	probe := data.MustProjector(joined.Schema(), common)
 	extraProj := data.MustProjector(sibling.Schema(), extra)
 	out := data.NewRelation(e.ring, joined.Schema().Union(extra))
+	var buf []byte
 	joined.Iterate(func(t data.Tuple, p P) bool {
-		for pk := range ix.Probe(probe.Key(t)) {
-			en, ok := sibling.EntryKey(pk)
-			if !ok {
-				continue
-			}
-			out.Merge(data.Concat(t, extraProj.Apply(en.Tuple)), e.ring.Mul(p, en.Payload))
+		buf = probe.AppendKey(buf[:0], t)
+		for en := range ix.ProbeBytes(buf) {
+			tt := make(data.Tuple, 0, len(t)+extraProj.Len())
+			tt = append(tt, t...)
+			tt = extraProj.AppendTo(tt, en.Tuple)
+			out.Merge(tt, e.ring.Mul(p, en.Payload))
 		}
 		return true
 	})

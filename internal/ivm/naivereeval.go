@@ -55,8 +55,8 @@ func (m *NaiveReEval[P]) recompute() *data.Relation[P] {
 	return data.Project(agg, m.q.Free)
 }
 
-// ApplyDelta merges the update and recomputes the result from the full join.
-func (m *NaiveReEval[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
+// absorb merges an update into the stored base relation.
+func (m *NaiveReEval[P]) absorb(rel string, delta *data.Relation[P]) error {
 	rd, ok := m.q.Rel(rel)
 	if !ok {
 		return fmt.Errorf("ivm: unknown relation %q", rel)
@@ -70,6 +70,14 @@ func (m *NaiveReEval[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
 		base.MergeAll(delta)
 	} else {
 		base.MergeAll(data.Project(delta, base.Schema()))
+	}
+	return nil
+}
+
+// ApplyDelta merges the update and recomputes the result from the full join.
+func (m *NaiveReEval[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
+	if err := m.absorb(rel, delta); err != nil {
+		return err
 	}
 	m.result = m.recompute()
 	return nil

@@ -22,6 +22,17 @@ type planStep[P any] struct {
 	accSchema data.Schema
 	margVars  []margVar
 	outProj   data.Projector
+
+	// Reusable scratch for exec: two work-item slices swapped between join
+	// stages, a key-encoding buffer, and the output delta relation (cleared
+	// and refilled per call), so steady-state propagation does not allocate
+	// per step. Plans are engine-owned and single-threaded; the output
+	// relation is consumed (merged and iterated) before the next exec of the
+	// same step, and its tuples/payloads may be retained by views, which is
+	// safe because both are immutable once stored.
+	items, spare []workItem[P]
+	keyBuf       []byte
+	out          *data.Relation[P]
 }
 
 type margVar struct {
@@ -145,45 +156,55 @@ type workItem[P any] struct {
 // exec computes the delta of st.node given the delta of the child it came
 // from: it joins the child delta with the sibling views by index probes,
 // lifts and marginalizes the node's bound variables, and projects onto the
-// node's keys.
+// node's keys. Work-item slices and the probe-key buffer are reused across
+// calls, and index probes yield entries directly, so the steady-state join
+// allocates only for freshly extended tuples.
 func (st *planStep[P]) exec(e *Engine[P], delta *data.Relation[P]) *data.Relation[P] {
-	items := make([]workItem[P], 0, delta.Len())
+	items := st.items[:0]
 	delta.Iterate(func(t data.Tuple, p P) bool {
 		items = append(items, workItem[P]{t: t, p: p})
 		return true
 	})
 
+	spare := st.spare
 	for _, sib := range st.siblings {
 		if len(items) == 0 {
 			break
 		}
 		view := e.views[sib.node]
-		next := items[:0:0]
+		next := spare[:0]
 		if sib.full {
 			for _, it := range items {
-				if pay, ok := view.GetKey(sib.probeProj.Key(it.t)); ok {
+				if pay, ok := view.GetProjected(sib.probeProj, it.t); ok {
 					next = append(next, workItem[P]{t: it.t, p: e.ring.Mul(it.p, pay)})
 				}
 			}
 		} else {
 			ix := view.EnsureIndex(sib.common)
+			extraLen := sib.extraProj.Len()
 			for _, it := range items {
-				for pk := range ix.Probe(sib.probeProj.Key(it.t)) {
-					en, ok := view.EntryKey(pk)
-					if !ok {
-						continue
-					}
-					next = append(next, workItem[P]{
-						t: data.Concat(it.t, sib.extraProj.Apply(en.Tuple)),
-						p: e.ring.Mul(it.p, en.Payload),
-					})
+				st.keyBuf = sib.probeProj.AppendKey(st.keyBuf[:0], it.t)
+				for en := range ix.ProbeBytes(st.keyBuf) {
+					tt := make(data.Tuple, 0, len(it.t)+extraLen)
+					tt = append(tt, it.t...)
+					tt = sib.extraProj.AppendTo(tt, en.Tuple)
+					next = append(next, workItem[P]{t: tt, p: e.ring.Mul(it.p, en.Payload)})
 				}
 			}
 		}
-		items = next
+		items, spare = next, items
 	}
+	st.items, st.spare = items, spare
 
-	out := data.NewRelation(e.ring, st.node.Keys)
+	// Reserve only on first use: Clear retains the map's capacity, which a
+	// subsequent Reserve would throw away by allocating a fresh table.
+	if st.out == nil {
+		st.out = data.NewRelation(e.ring, st.node.Keys)
+		st.out.Reserve(len(items))
+	} else {
+		st.out.Clear()
+	}
+	out := st.out
 	for _, it := range items {
 		p := it.p
 		// Multiply the liftings together first: lift values are small ring
@@ -200,7 +221,7 @@ func (st *planStep[P]) exec(e *Engine[P], delta *data.Relation[P]) *data.Relatio
 		if e.opts.PayloadTransform != nil {
 			p = e.opts.PayloadTransform(st.node, p)
 		}
-		out.Merge(st.outProj.Apply(it.t), p)
+		out.MergeProjected(st.outProj, it.t, p)
 	}
 	return out
 }

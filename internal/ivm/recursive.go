@@ -31,6 +31,10 @@ type Recursive[P any] struct {
 
 	bases map[string]*data.Relation[P]
 	ready bool
+
+	// Reusable scratch for viewDelta (single-threaded per maintainer).
+	items, spare []workItem[P]
+	keyBuf       []byte
 }
 
 type recView[P any] struct {
@@ -300,40 +304,41 @@ func (m *Recursive[P]) viewDelta(v *recView[P], rel string, rd query.RelDef, del
 		return data.Project(agg, v.free)
 	}
 	d := v.deltas[rel]
-	items := make([]workItem[P], 0, delta.Len())
+	items := m.items[:0]
 	delta.Iterate(func(t data.Tuple, p P) bool {
 		items = append(items, workItem[P]{t: t, p: p})
 		return true
 	})
+	spare := m.spare
 	for _, c := range d.comps {
 		if len(items) == 0 {
 			break
 		}
-		next := items[:0:0]
+		next := spare[:0]
 		if c.full {
 			for _, it := range items {
-				if pay, ok := c.view.rel.GetKey(c.probeProj.Key(it.t)); ok {
+				if pay, ok := c.view.rel.GetProjected(c.probeProj, it.t); ok {
 					next = append(next, workItem[P]{t: it.t, p: m.ring.Mul(it.p, pay)})
 				}
 			}
 		} else {
 			ix := c.view.rel.EnsureIndex(c.common)
+			extraLen := c.extraProj.Len()
 			for _, it := range items {
-				for pk := range ix.Probe(c.probeProj.Key(it.t)) {
-					en, ok := c.view.rel.EntryKey(pk)
-					if !ok {
-						continue
-					}
-					next = append(next, workItem[P]{
-						t: data.Concat(it.t, c.extraProj.Apply(en.Tuple)),
-						p: m.ring.Mul(it.p, en.Payload),
-					})
+				m.keyBuf = c.probeProj.AppendKey(m.keyBuf[:0], it.t)
+				for en := range ix.ProbeBytes(m.keyBuf) {
+					tt := make(data.Tuple, 0, len(it.t)+extraLen)
+					tt = append(tt, it.t...)
+					tt = c.extraProj.AppendTo(tt, en.Tuple)
+					next = append(next, workItem[P]{t: tt, p: m.ring.Mul(it.p, en.Payload)})
 				}
 			}
 		}
-		items = next
+		items, spare = next, items
 	}
+	m.items, m.spare = items, spare
 	out := data.NewRelation(m.ring, v.free)
+	out.Reserve(len(items))
 	for _, it := range items {
 		p := it.p
 		if len(d.marg) > 0 {
@@ -343,7 +348,7 @@ func (m *Recursive[P]) viewDelta(v *recView[P], rel string, rd query.RelDef, del
 			}
 			p = m.ring.Mul(p, lp)
 		}
-		out.Merge(d.outProj.Apply(it.t), p)
+		out.MergeProjected(d.outProj, it.t, p)
 	}
 	return out
 }

@@ -48,9 +48,8 @@ func (m *ReEval[P]) Init() error {
 	return nil
 }
 
-// ApplyDelta merges the update into the base relation and recomputes the
-// result from scratch.
-func (m *ReEval[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
+// absorb merges an update into the stored base relation.
+func (m *ReEval[P]) absorb(rel string, delta *data.Relation[P]) error {
 	rd, ok := m.q.Rel(rel)
 	if !ok {
 		return fmt.Errorf("ivm: unknown relation %q", rel)
@@ -64,6 +63,15 @@ func (m *ReEval[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
 		base.MergeAll(delta)
 	} else {
 		base.MergeAll(data.Project(delta, base.Schema()))
+	}
+	return nil
+}
+
+// ApplyDelta merges the update into the base relation and recomputes the
+// result from scratch.
+func (m *ReEval[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
+	if err := m.absorb(rel, delta); err != nil {
+		return err
 	}
 	m.result = evalTree(m.root, m.q, m.ring, m.lift, m.bases)
 	return nil
