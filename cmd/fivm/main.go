@@ -54,6 +54,7 @@ func main() {
 	dataset := fs.String("dataset", "retailer", "dataset for fig7/fig8: retailer or housing")
 	batch := fs.Int("batch", 1000, "update batch size")
 	group := fs.Int("group", 1, "stream batches applied per batched ApplyDeltas call")
+	workers := fs.Int("workers", 1, "shard/worker count for parallel maintenance (fig7, fig13)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-strategy timeout (the paper's 1h limit, scaled)")
 	scale := fs.Int("scale", 1, "dataset scale multiplier")
 	noScalar := fs.Bool("no-scalar", false, "skip the per-aggregate scalar competitors (DBT, 1-IVM)")
@@ -77,6 +78,7 @@ func main() {
 		cfg.BatchSize = *batch
 		cfg.Timeout = *timeout
 		cfg.Group = *group
+		cfg.Workers = *workers
 		cfg.Retailer = retailer
 		cfg.Housing = housing
 		cfg.IncludeScalar = !*noScalar
@@ -127,6 +129,7 @@ func main() {
 		cfg := bench.DefaultFig13()
 		cfg.BatchSize = *batch
 		cfg.Timeout = *timeout
+		cfg.Workers = *workers
 		cfg.Twitter = twitter
 		print(bench.Fig13(cfg)...)
 	case "triangle-indicator":

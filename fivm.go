@@ -180,6 +180,43 @@ func NewEngine[P any](q Query, o *Order, r Ring[P], lift LiftFunc[P], opts Engin
 	return ivm.New[P](q, o, r, lift, opts)
 }
 
+// ParallelEngine is the sharded parallel maintainer: it hash-partitions the
+// database by the join variable covered by the most relations, runs one
+// inner maintainer per shard on a fixed worker pool, and reduces shard
+// results key-wise. Build one with NewParallel; call Close when done to
+// stop the pool.
+type ParallelEngine[P any] = ivm.Parallel[P]
+
+// NewParallel builds a sharded parallel maintainer over `workers` shards,
+// each an independent maintainer produced by factory. With workers <= 1 (or
+// a query with nothing to shard on) it degenerates to a zero-overhead
+// sequential delegate.
+func NewParallel[P any](q Query, r Ring[P], workers int, factory func() (Maintainer[P], error)) (*ParallelEngine[P], error) {
+	return ivm.NewParallel[P](q, r, workers, factory)
+}
+
+// MutableRing is the optional ring extension for allocation-free in-place
+// payload accumulation (implemented by IntRing, FloatRing, CofactorRing,
+// DegreeMapRing, and products of them). Relations detect it automatically
+// and switch to owned, zero-alloc payload accumulation.
+type MutableRing[T any] = ring.Mutable[T]
+
+// ShardedRelation is a relation hash-partitioned on one column; shards of
+// relations partitioned on a shared join column join shard-locally.
+type ShardedRelation[P any] = data.Sharded[P]
+
+// NewShardedRelation creates an empty n-way sharded relation partitioned on
+// column col.
+func NewShardedRelation[P any](r Ring[P], schema Schema, col string, n int) (*ShardedRelation[P], error) {
+	return data.NewSharded[P](r, schema, col, n)
+}
+
+// SplitRelation partitions a relation's contents into n fresh relations by
+// the hash of column col.
+func SplitRelation[P any](r *Relation[P], col string, n int) ([]*Relation[P], error) {
+	return data.Split(r, col, n)
+}
+
 // Competitor strategies (first-order IVM, DBToaster-style recursive IVM,
 // and re-evaluation), exposed for benchmarking and comparison.
 func NewFirstOrder[P any](q Query, o *Order, r Ring[P], lift LiftFunc[P]) (Maintainer[P], error) {

@@ -149,6 +149,25 @@ func (c cofactorStrategies) FirstOrderScalar(o *vorder.Order) (*ivm.MultiFirstOr
 	return ivm.NewMultiFirstOrder(c.q, o, ivm.CofactorAggSpecs(c.vars))
 }
 
+// parallelize wraps a maintainer factory in a sharded parallel maintainer
+// over the given worker count; workers <= 1 returns the plain maintainer.
+// The caller should closeMaintainer the result after its run to stop the
+// worker pool.
+func parallelize[P any](q query.Query, r ring.Ring[P], workers int, factory func() (ivm.Maintainer[P], error)) (ivm.Maintainer[P], error) {
+	if workers <= 1 {
+		return factory()
+	}
+	return ivm.NewParallel[P](q, r, workers, factory)
+}
+
+// closeMaintainer stops a parallel maintainer's worker pool; plain
+// maintainers are left untouched.
+func closeMaintainer(m any) {
+	if c, ok := m.(interface{ Close() error }); ok {
+		c.Close()
+	}
+}
+
 // preload loads every relation except those in skip into the maintainer and
 // runs Init — the ONE-scenario setup where only the stream relation changes.
 func preload[P any](m ivm.Maintainer[P], ds *datasets.Dataset, toDelta func(b datasets.Batch) *data.Relation[P], skip map[string]bool) error {

@@ -14,7 +14,11 @@ import (
 type Fig13Config struct {
 	BatchSize int
 	Timeout   time.Duration
-	Twitter   datasets.TwitterConfig
+	// Workers is the shard/worker count for parallel maintenance (default
+	// 1, sequential); the triangle shards on one edge variable with the
+	// third relation broadcast.
+	Workers int
+	Twitter datasets.TwitterConfig
 }
 
 // DefaultFig13 is a laptop-scale configuration.
@@ -37,21 +41,25 @@ func Fig13(cfg Fig13Config) []*Table {
 	cs := newCofactorStrategies(ds.Query)
 	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
 	oneStream := datasets.SingleRelationStream(ds, "R", cfg.BatchSize)
-	opts := RunOptions{Timeout: cfg.Timeout}
+	opts := RunOptions{Timeout: cfg.Timeout, Workers: cfg.Workers}
 
 	var results []RunResult
 
 	{
-		m, err := cs.FIVM(ds.NewOrder(), nil)
+		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
+			func() (ivm.Maintainer[ring.Triple], error) { return cs.FIVM(ds.NewOrder(), nil) })
 		must(err)
 		must(m.Init())
 		results = append(results, RunStream("F-IVM", Adapt(m, tripleDelta(ds.Query)), stream, opts))
+		closeMaintainer(m)
 	}
 	{
-		m, err := cs.DBTRing(nil)
+		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
+			func() (ivm.Maintainer[ring.Triple], error) { return cs.DBTRing(nil) })
 		must(err)
 		must(m.Init())
 		results = append(results, RunStream("DBT-RING", Adapt(m, tripleDelta(ds.Query)), stream, opts))
+		closeMaintainer(m)
 	}
 	{
 		m, err := cs.DBTScalar(nil)
@@ -72,7 +80,7 @@ func Fig13(cfg Fig13Config) []*Table {
 		results = append(results, RunStream("F-IVM ONE", Adapt(m, tripleDelta(ds.Query)), oneStream, opts))
 	}
 
-	return fig7Tables("Figure 13: cofactor over the triangle query (Twitter)", results)
+	return fig7Tables(workersTitle("Figure 13: cofactor over the triangle query (Twitter)", opts), results)
 }
 
 // TriangleIndicator demonstrates Appendix B: the indicator projection

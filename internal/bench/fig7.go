@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"fivm/internal/datasets"
+	"fivm/internal/ivm"
+	"fivm/internal/ring"
 )
 
 // Fig7Config scales the cofactor maintenance experiments (Figure 7).
@@ -17,7 +19,11 @@ type Fig7Config struct {
 	Timeout time.Duration
 	// Group is the number of stream batches applied per ApplyDeltas call
 	// (default 1); see RunOptions.Group.
-	Group    int
+	Group int
+	// Workers is the shard/worker count for parallel maintenance (default 1,
+	// sequential). Strategies are wrapped in ivm.NewParallel, partitioning
+	// the database by the best-covered join variable.
+	Workers  int
 	Retailer datasets.RetailerConfig
 	Housing  datasets.HousingConfig
 	// IncludeScalar adds the per-aggregate DBT and 1-IVM competitors
@@ -56,7 +62,7 @@ func Fig7(cfg Fig7Config) []*Table {
 	cs := newCofactorStrategies(ds.Query)
 	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
 	oneStream := datasets.SingleRelationStream(ds, ds.Largest, cfg.BatchSize)
-	opts := RunOptions{Timeout: cfg.Timeout, Group: cfg.Group}
+	opts := RunOptions{Timeout: cfg.Timeout, Group: cfg.Group, Workers: cfg.Workers}
 
 	var results []RunResult
 	run := func(name string, l Loader, s []datasets.Batch) {
@@ -65,86 +71,112 @@ func Fig7(cfg Fig7Config) []*Table {
 
 	// F-IVM: one view tree, cofactor-ring payloads.
 	{
-		m, err := cs.FIVM(ds.NewOrder(), nil)
+		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
+			func() (ivm.Maintainer[ring.Triple], error) { return cs.FIVM(ds.NewOrder(), nil) })
 		if err != nil {
 			panic(err)
 		}
 		must(m.Init())
 		run("F-IVM", Adapt(m, tripleDelta(ds.Query)), stream)
+		closeMaintainer(m)
 	}
 	// SQL-OPT: same views, degree-indexed aggregate encoding.
 	{
-		m, err := cs.SQLOPT(ds.NewOrder(), nil)
+		m, err := parallelize[ring.DegMap](ds.Query, ring.DegreeMap{}, cfg.Workers,
+			func() (ivm.Maintainer[ring.DegMap], error) { return cs.SQLOPT(ds.NewOrder(), nil) })
 		if err != nil {
 			panic(err)
 		}
 		must(m.Init())
 		run("SQL-OPT", Adapt(m, degMapDelta(ds.Query)), stream)
+		closeMaintainer(m)
 	}
 	// DBT-RING: recursive hierarchies, cofactor-ring payloads.
 	{
-		m, err := cs.DBTRing(nil)
+		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
+			func() (ivm.Maintainer[ring.Triple], error) { return cs.DBTRing(nil) })
 		if err != nil {
 			panic(err)
 		}
 		must(m.Init())
 		run("DBT-RING", Adapt(m, tripleDelta(ds.Query)), stream)
+		closeMaintainer(m)
 	}
 	if cfg.IncludeScalar {
 		// DBT: one scalar hierarchy per aggregate, no sharing.
-		m, err := cs.DBTScalar(nil)
+		m, err := parallelize[float64](ds.Query, ring.Float{}, cfg.Workers,
+			func() (ivm.Maintainer[float64], error) { return cs.DBTScalar(nil) })
 		if err != nil {
 			panic(err)
 		}
 		must(m.Init())
 		run("DBT", Adapt[float64](m, floatDelta(ds.Query)), stream)
+		closeMaintainer(m)
 
 		// 1-IVM: one delta query per aggregate per update.
-		fo, err := cs.FirstOrderScalar(ds.NewOrder())
+		fo, err := parallelize[float64](ds.Query, ring.Float{}, cfg.Workers,
+			func() (ivm.Maintainer[float64], error) { return cs.FirstOrderScalar(ds.NewOrder()) })
 		if err != nil {
 			panic(err)
 		}
 		must(fo.Init())
 		run("1-IVM", Adapt[float64](fo, floatDelta(ds.Query)), stream)
+		closeMaintainer(fo)
 	}
 	// ONE variants: updates to the largest relation only.
 	skip := map[string]bool{ds.Largest: true}
 	{
-		m, err := cs.FIVM(ds.NewOrder(), []string{ds.Largest})
+		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
+			func() (ivm.Maintainer[ring.Triple], error) { return cs.FIVM(ds.NewOrder(), []string{ds.Largest}) })
 		if err != nil {
 			panic(err)
 		}
 		must(preload(m, ds, tripleDelta(ds.Query), skip))
 		run("F-IVM ONE", Adapt(m, tripleDelta(ds.Query)), oneStream)
+		closeMaintainer(m)
 	}
 	{
-		m, err := cs.SQLOPT(ds.NewOrder(), []string{ds.Largest})
+		m, err := parallelize[ring.DegMap](ds.Query, ring.DegreeMap{}, cfg.Workers,
+			func() (ivm.Maintainer[ring.DegMap], error) { return cs.SQLOPT(ds.NewOrder(), []string{ds.Largest}) })
 		if err != nil {
 			panic(err)
 		}
 		must(preload(m, ds, degMapDelta(ds.Query), skip))
 		run("SQL-OPT ONE", Adapt(m, degMapDelta(ds.Query)), oneStream)
+		closeMaintainer(m)
 	}
 	{
-		m, err := cs.DBTRing([]string{ds.Largest})
+		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
+			func() (ivm.Maintainer[ring.Triple], error) { return cs.DBTRing([]string{ds.Largest}) })
 		if err != nil {
 			panic(err)
 		}
 		must(preload(m, ds, tripleDelta(ds.Query), skip))
 		run("DBT-RING ONE", Adapt(m, tripleDelta(ds.Query)), oneStream)
+		closeMaintainer(m)
 	}
 
-	return fig7Tables(fmt.Sprintf("Figure 7: cofactor maintenance, %s, batches of %d", ds.Name, cfg.BatchSize), results)
+	title := fmt.Sprintf("Figure 7: cofactor maintenance, %s, batches of %d", ds.Name, cfg.BatchSize)
+	return fig7Tables(workersTitle(title, opts), results)
+}
+
+// workersTitle annotates a figure title with the run's worker count.
+func workersTitle(title string, opts RunOptions) string {
+	if opts.Workers > 1 {
+		title += fmt.Sprintf(", %d workers", opts.Workers)
+	}
+	return title
 }
 
 // fig7Tables renders a summary plus throughput/memory traces.
 func fig7Tables(title string, results []RunResult) []*Table {
 	sum := &Table{
 		Title:  title,
-		Header: []string{"strategy", "views", "tuples", "elapsed", "throughput", "peak mem", "status"},
+		Header: []string{"strategy", "views", "tuples", "elapsed", "throughput", "p50 batch", "p99 batch", "peak mem", "status"},
 	}
 	for _, r := range results {
-		sum.AddRow(r.Name, r.Views, r.Tuples, fmtDur(r.Elapsed.Seconds()), fmtTput(r.Throughput), fmtMem(r.PeakMem), r.Status())
+		sum.AddRow(r.Name, r.Views, r.Tuples, fmtDur(r.Elapsed.Seconds()), fmtTput(r.Throughput),
+			fmtDur(r.P50Batch.Seconds()), fmtDur(r.P99Batch.Seconds()), fmtMem(r.PeakMem), r.Status())
 	}
 
 	trace := &Table{

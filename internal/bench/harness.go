@@ -8,6 +8,8 @@ package bench
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"fivm/internal/data"
@@ -33,6 +35,12 @@ type RunResult struct {
 	Views      int
 	PeakMem    int
 	TimedOut   bool
+	// P50Batch and P99Batch are per-ApplyBatches-call latency percentiles
+	// (nearest-rank over every call of the run). Aggregate throughput hides
+	// tail behaviour — a parallel engine can raise the mean while stragglers
+	// stretch the p99 — so both are reported alongside it.
+	P50Batch time.Duration
+	P99Batch time.Duration
 	// Err is the maintenance error that aborted the run, if any; the stats
 	// cover the prefix processed before the failure.
 	Err error
@@ -63,6 +71,10 @@ type RunOptions struct {
 	// the batched ApplyDeltas path: deltas to the same relation coalesce and
 	// each maintenance plan runs once per group.
 	Group int
+	// Workers records the shard/worker count the driven maintainer was
+	// built with (informational — parallelism is a property of the
+	// maintainer, constructed via ivm.NewParallel, not of the stream loop).
+	Workers int
 }
 
 // Loader abstracts the subset of a maintenance strategy the harness drives.
@@ -155,9 +167,13 @@ func RunStream(name string, l Loader, stream []datasets.Batch, opts RunOptions) 
 		nextSample = 1
 	}
 	threshold := nextSample
+	lats := make([]time.Duration, 0, (len(stream)+group-1)/group)
 	for at := 0; at < len(stream); at += group {
 		g := stream[at:min(at+group, len(stream))]
-		if err := l.ApplyBatches(g); err != nil {
+		callStart := time.Now()
+		err := l.ApplyBatches(g)
+		lats = append(lats, time.Since(callStart))
+		if err != nil {
 			res.Err = fmt.Errorf("bench: %s: %w", name, err)
 			break
 		}
@@ -194,7 +210,28 @@ func RunStream(name string, l Loader, stream []datasets.Batch, opts RunOptions) 
 	if mem := l.MemoryBytes(); mem > res.PeakMem {
 		res.PeakMem = mem
 	}
+	res.P50Batch = percentile(lats, 0.50)
+	res.P99Batch = percentile(lats, 0.99)
 	return res
+}
+
+// percentile returns the nearest-rank q-th percentile of the latencies
+// (sorting a copy; the caller's order is preserved).
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(lats))
+	copy(s, lats)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
 }
 
 // fmtMem renders bytes with a binary unit.

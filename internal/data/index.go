@@ -118,22 +118,30 @@ func (ir *IndexedRelation[P]) mergeProjectedIndexed(proj Projector, t Tuple, p P
 	ir.keyBuf = proj.AppendKey(ir.keyBuf[:0], t)
 	en, ok := ir.entries[string(ir.keyBuf)]
 	if ok {
-		s := ir.ring.Add(en.Payload, p)
-		if ir.ring.IsZero(s) {
+		var zero bool
+		if ir.mut != nil {
+			ir.mut.AddInto(&en.Payload, p)
+			zero = ir.ring.IsZero(en.Payload)
+		} else {
+			s := ir.ring.Add(en.Payload, p)
+			zero = ir.ring.IsZero(s)
+			if !zero {
+				en.Payload = s
+			}
+		}
+		if zero {
 			delete(ir.entries, en.key)
 			for _, ix := range ir.indexes {
 				ix.Remove(en)
 			}
-			return
 		}
-		en.Payload = s
 		return
 	}
 	if ir.ring.IsZero(p) {
 		return
 	}
 	key := string(ir.keyBuf)
-	en = &Entry[P]{key: key, Tuple: proj.Apply(t), Payload: p}
+	en = &Entry[P]{key: key, Tuple: proj.Apply(t), Payload: ir.owned(p)}
 	ir.entries[key] = en
 	for _, ix := range ir.indexes {
 		ix.Add(en)

@@ -52,8 +52,9 @@ func Join[P any](a, b *Relation[P]) *Relation[P] {
 	for _, e := range a.entries {
 		buf = aCommon.AppendKey(buf[:0], e.Tuple)
 		matches := buckets[string(buf)]
-		for _, m := range matches {
-			out.Merge(Concat(e.Tuple, m.extra), a.ring.Mul(e.Payload, m.payload))
+		for i := range matches {
+			m := &matches[i]
+			out.MergeMul(Concat(e.Tuple, m.extra), &e.Payload, &m.payload)
 		}
 	}
 	return out
@@ -97,17 +98,18 @@ func MarginalizeVars[P any](r *Relation[P], vars Schema, lift LiftFunc[P]) *Rela
 		idx[i] = r.schema.IndexOf(x)
 	}
 	for _, e := range r.entries {
-		p := e.Payload
 		// Combine the liftings first: they are small ring elements, while
-		// the payload may be large, so it joins the product once.
+		// the payload may be large, so it joins the product once — directly
+		// inside the output's stored payload for mutable rings.
 		if len(vars) > 0 {
 			lp := lift(vars[0], e.Tuple[idx[0]])
 			for i, x := range vars[1:] {
 				lp = r.ring.Mul(lp, lift(x, e.Tuple[idx[i+1]]))
 			}
-			p = r.ring.Mul(p, lp)
+			out.MergeMulProjected(proj, e.Tuple, &e.Payload, &lp)
+		} else {
+			out.MergeProjected(proj, e.Tuple, e.Payload)
 		}
-		out.MergeProjected(proj, e.Tuple, p)
 	}
 	return out
 }

@@ -27,17 +27,46 @@ func (e *Entry[P]) Key() string { return e.key }
 //
 // Mutating and probing methods share a per-relation scratch buffer for key
 // encoding, so steady-state Get/Merge/Set do zero key allocations; as a
-// consequence a Relation must not be accessed concurrently, even for reads.
+// consequence a Relation must not be accessed concurrently, even for reads
+// through keyBuf-using methods (pure entry iteration — Iterate,
+// IterateEntries, MergeAll's source side — does not touch the scratch and
+// may be shared read-only across goroutines).
+//
+// When the payload ring implements ring.Mutable, the relation switches to
+// owned accumulation: payloads are deep-copied on first store and mutated in
+// place by later merges, so steady-state payload accumulation does zero
+// allocations. Payloads read out of such a relation are snapshots only
+// until its next update.
 type Relation[P any] struct {
 	schema  Schema
 	ring    ring.Ring[P]
+	mut     ring.Mutable[P] // non-nil when the ring supports in-place accumulation
 	entries map[string]*Entry[P]
 	keyBuf  []byte
+	// recycle marks delta-scratch relations whose entries Clear moves onto
+	// the freelist for reuse; see RecycleCleared.
+	recycle bool
+	// shareProjected lets projected merges store prefix subslices of the
+	// source tuple instead of fresh copies; see ShareProjectedTuples.
+	shareProjected bool
+	free           []*Entry[P]
 }
 
 // NewRelation creates an empty relation over the given ring and schema.
 func NewRelation[P any](r ring.Ring[P], schema Schema) *Relation[P] {
-	return &Relation[P]{schema: schema, ring: r, entries: make(map[string]*Entry[P])}
+	return &Relation[P]{schema: schema, ring: r, mut: ring.MutableOf(r), entries: make(map[string]*Entry[P])}
+}
+
+// owned returns the payload to store for a fresh entry: a deep copy when the
+// ring supports in-place accumulation (so later merges may mutate it), the
+// value itself otherwise (immutable by the ring contract).
+func (r *Relation[P]) owned(p P) P {
+	if r.mut == nil {
+		return p
+	}
+	var o P
+	r.mut.CopyInto(&o, p)
+	return o
 }
 
 // Schema returns the relation's schema.
@@ -67,8 +96,59 @@ func (r *Relation[P]) Reserve(n int) {
 }
 
 // Clear removes every entry, retaining the table's capacity for reuse in
-// steady-state delta scratch relations.
-func (r *Relation[P]) Clear() { clear(r.entries) }
+// steady-state delta scratch relations (and, after RecycleCleared, the
+// entry structs and their payload storage too).
+func (r *Relation[P]) Clear() {
+	if r.recycle {
+		for _, e := range r.entries {
+			e.Tuple = nil // tuples may be retained by consumers; never reused
+			r.free = append(r.free, e)
+		}
+	}
+	clear(r.entries)
+}
+
+// ShareProjectedTuples lets MergeProjected and MergeMulProjected store, for
+// prefix projections, a subslice of the source tuple instead of a fresh
+// copy. Callers must guarantee every projected source tuple's backing array
+// is immutable for the relation's lifetime (true for delta-relation tuples,
+// false for arena-backed scratch tuples).
+func (r *Relation[P]) ShareProjectedTuples() { r.shareProjected = true }
+
+// projApply materializes the projection of t for storage, honoring the
+// tuple-sharing mode.
+func (r *Relation[P]) projApply(proj Projector, t Tuple) Tuple {
+	if r.shareProjected {
+		return proj.SharedApply(t)
+	}
+	return proj.Apply(t)
+}
+
+// RecycleCleared makes Clear feed removed entries into a freelist that
+// fresh stores pop from, reusing the Entry struct and (for rings with
+// in-place accumulation) its payload storage. Safe only for relations whose
+// consumers never hold an *Entry, or a mutable-ring payload read from one,
+// across a Clear — the delta-propagation scratch relations qualify: views
+// copy what they keep. Stored tuples are never reused.
+func (r *Relation[P]) RecycleCleared() { r.recycle = true }
+
+// insertEntry stores a fresh entry under key (which must be absent),
+// reusing a recycled entry when available. The caller must set Payload
+// (recycled entries hold stale payloads whose storage CopyInto/MulInto may
+// reuse).
+func (r *Relation[P]) insertEntry(key string, t Tuple) *Entry[P] {
+	var e *Entry[P]
+	if n := len(r.free); n > 0 {
+		e = r.free[n-1]
+		r.free = r.free[:n-1]
+		e.key = key
+		e.Tuple = t
+	} else {
+		e = &Entry[P]{key: key, Tuple: t}
+	}
+	r.entries[key] = e
+	return e
+}
 
 // lookup returns the entry stored under tuple t, encoding the key into the
 // relation's scratch buffer (no allocation).
@@ -96,6 +176,14 @@ func (r *Relation[P]) GetProjected(proj Projector, t Tuple) (P, bool) {
 	}
 	var zero P
 	return zero, false
+}
+
+// LookupProjected returns the entry stored under the projection of t by
+// proj, or nil. Hot paths use it to reach payloads without copying them;
+// the entry is owned by the relation and must not be mutated.
+func (r *Relation[P]) LookupProjected(proj Projector, t Tuple) *Entry[P] {
+	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
+	return r.entries[string(r.keyBuf)]
 }
 
 // GetKey returns the payload stored under an encoded key.
@@ -130,6 +218,10 @@ func (r *Relation[P]) Set(t Tuple, p P) {
 			delete(r.entries, e.key)
 			return
 		}
+		if r.mut != nil {
+			r.mut.CopyInto(&e.Payload, p) // reuse the owned payload's storage
+			return
+		}
 		e.Payload = p
 		return
 	}
@@ -137,7 +229,17 @@ func (r *Relation[P]) Set(t Tuple, p P) {
 		return
 	}
 	key := string(r.keyBuf) // lookup left t's encoding in the scratch buffer
-	r.entries[key] = &Entry[P]{key: key, Tuple: t, Payload: p}
+	r.setPayload(r.insertEntry(key, t), p)
+}
+
+// setPayload assigns p to a freshly inserted entry, deep-copying into the
+// entry's (possibly recycled) storage for rings with in-place accumulation.
+func (r *Relation[P]) setPayload(e *Entry[P], p P) {
+	if r.mut != nil {
+		r.mut.CopyInto(&e.Payload, p)
+		return
+	}
+	e.Payload = p
 }
 
 // mergeEntry adds p to the payload of tuple t and reports the affected entry
@@ -145,6 +247,14 @@ func (r *Relation[P]) Set(t Tuple, p P) {
 // index maintenance can react to appearance and disappearance.
 func (r *Relation[P]) mergeEntry(t Tuple, p P) (en *Entry[P], existed, exists bool) {
 	if e := r.lookup(t); e != nil {
+		if r.mut != nil {
+			r.mut.AddInto(&e.Payload, p)
+			if r.ring.IsZero(e.Payload) {
+				delete(r.entries, e.key)
+				return e, true, false
+			}
+			return e, true, true
+		}
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
 			delete(r.entries, e.key)
@@ -157,8 +267,8 @@ func (r *Relation[P]) mergeEntry(t Tuple, p P) (en *Entry[P], existed, exists bo
 		return nil, false, false
 	}
 	key := string(r.keyBuf) // lookup left t's encoding in the scratch buffer
-	e := &Entry[P]{key: key, Tuple: t, Payload: p}
-	r.entries[key] = e
+	e := r.insertEntry(key, t)
+	r.setPayload(e, p)
 	return e, false, true
 }
 
@@ -184,6 +294,13 @@ func (r *Relation[P]) Merge(t Tuple, p P) P {
 func (r *Relation[P]) MergeProjected(proj Projector, t Tuple, p P) {
 	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
 	if e, ok := r.entries[string(r.keyBuf)]; ok {
+		if r.mut != nil {
+			r.mut.AddInto(&e.Payload, p)
+			if r.ring.IsZero(e.Payload) {
+				delete(r.entries, e.key)
+			}
+			return
+		}
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
 			delete(r.entries, e.key)
@@ -196,12 +313,79 @@ func (r *Relation[P]) MergeProjected(proj Projector, t Tuple, p P) {
 		return
 	}
 	key := string(r.keyBuf)
-	r.entries[key] = &Entry[P]{key: key, Tuple: proj.Apply(t), Payload: p}
+	r.setPayload(r.insertEntry(key, r.projApply(proj, t)), p)
+}
+
+// MergeMul merges the product (*a)*(*b) under tuple t. For rings with
+// in-place accumulation the product is computed directly into the stored
+// payload (zero allocations for existing keys); otherwise it falls back to
+// Merge(t, a*b). The operands are only read.
+func (r *Relation[P]) MergeMul(t Tuple, a, b *P) {
+	if r.mut == nil {
+		r.Merge(t, r.ring.Mul(*a, *b))
+		return
+	}
+	if e := r.lookup(t); e != nil {
+		r.mut.MulAddInto(&e.Payload, a, b)
+		if r.ring.IsZero(e.Payload) {
+			delete(r.entries, e.key)
+		}
+		return
+	}
+	key := string(r.keyBuf) // lookup left t's encoding in the scratch buffer
+	e := r.insertEntry(key, t)
+	r.mut.MulInto(&e.Payload, a, b)
+	if r.ring.IsZero(e.Payload) {
+		r.dropFresh(e)
+	}
+}
+
+// dropFresh removes an entry that was just inserted but whose payload
+// turned out zero, returning it to the freelist when recycling.
+func (r *Relation[P]) dropFresh(e *Entry[P]) {
+	delete(r.entries, e.key)
+	if r.recycle {
+		e.Tuple = nil
+		r.free = append(r.free, e)
+	}
+}
+
+// MergeMulProjected merges the product (*a)*(*b) under the projection of t
+// by proj: out[π(t)] += a*b, the innermost operation of delta propagation.
+// For rings with in-place accumulation the product lands directly in the
+// stored payload, so merges onto existing keys do zero allocations. The
+// operands are only read.
+func (r *Relation[P]) MergeMulProjected(proj Projector, t Tuple, a, b *P) {
+	if r.mut == nil {
+		r.MergeProjected(proj, t, r.ring.Mul(*a, *b))
+		return
+	}
+	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
+	if e, ok := r.entries[string(r.keyBuf)]; ok {
+		r.mut.MulAddInto(&e.Payload, a, b)
+		if r.ring.IsZero(e.Payload) {
+			delete(r.entries, e.key)
+		}
+		return
+	}
+	key := string(r.keyBuf)
+	e := r.insertEntry(key, r.projApply(proj, t))
+	r.mut.MulInto(&e.Payload, a, b)
+	if r.ring.IsZero(e.Payload) {
+		r.dropFresh(e)
+	}
 }
 
 // MergeKey is Merge for a pre-encoded key.
 func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
 	if e, ok := r.entries[key]; ok {
+		if r.mut != nil {
+			r.mut.AddInto(&e.Payload, p)
+			if r.ring.IsZero(e.Payload) {
+				delete(r.entries, key)
+			}
+			return
+		}
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
 			delete(r.entries, key)
@@ -211,7 +395,7 @@ func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
 		return
 	}
 	if !r.ring.IsZero(p) {
-		r.entries[key] = &Entry[P]{key: key, Tuple: t, Payload: p}
+		r.setPayload(r.insertEntry(key, t), p)
 	}
 }
 
@@ -267,12 +451,19 @@ func (r *Relation[P]) SortedEntries() []Entry[P] {
 	return out
 }
 
-// Clone returns a copy sharing tuples and payloads (payloads are immutable
-// by the ring contract) but no entry or map structure.
+// Clone returns a copy sharing tuples but no entry or map structure.
+// Payloads are shared for immutable rings and deep-copied for rings with
+// in-place accumulation, so later merges into either relation never bleed
+// into the other.
 func (r *Relation[P]) Clone() *Relation[P] {
-	out := &Relation[P]{schema: r.schema, ring: r.ring, entries: make(map[string]*Entry[P], len(r.entries))}
+	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut, entries: make(map[string]*Entry[P], len(r.entries))}
 	for k, e := range r.entries {
 		c := *e
+		if r.mut != nil {
+			var o P
+			r.mut.CopyInto(&o, e.Payload)
+			c.Payload = o
+		}
 		out.entries[k] = &c
 	}
 	return out
@@ -282,7 +473,7 @@ func (r *Relation[P]) Clone() *Relation[P] {
 // of its payload. A deletion of the tuples of r is expressed as merging
 // r.Negate().
 func (r *Relation[P]) Negate() *Relation[P] {
-	out := &Relation[P]{schema: r.schema, ring: r.ring, entries: make(map[string]*Entry[P], len(r.entries))}
+	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut, entries: make(map[string]*Entry[P], len(r.entries))}
 	for k, e := range r.entries {
 		out.entries[k] = &Entry[P]{key: e.key, Tuple: e.Tuple, Payload: r.ring.Neg(e.Payload)}
 	}

@@ -115,20 +115,41 @@ func (s Schema) String() string { return "[" + strings.Join(s, ",") + "]" }
 // applying it per tuple avoids repeated name lookups on hot paths.
 type Projector struct {
 	idx []int
+	// prefix marks the projection that keeps the first len(idx) columns in
+	// order, so its result can be a subslice of the source.
+	prefix bool
 }
 
 // NewProjector builds a projector from schema from onto schema to. It
 // returns an error if some target variable is missing from the source.
 func NewProjector(from, to Schema) (Projector, error) {
 	idx := make([]int, len(to))
+	prefix := true
 	for i, v := range to {
 		j := from.IndexOf(v)
 		if j < 0 {
 			return Projector{}, fmt.Errorf("data: projection target %q not in source schema %v", v, from)
 		}
 		idx[i] = j
+		if j != i {
+			prefix = false
+		}
 	}
-	return Projector{idx: idx}, nil
+	return Projector{idx: idx, prefix: prefix}, nil
+}
+
+// IsPrefix reports whether the projection keeps a leading subsequence of
+// the source columns in order.
+func (p Projector) IsPrefix() bool { return p.prefix }
+
+// SharedApply projects the tuple, returning a capacity-capped subslice of t
+// for prefix projections (no allocation; the result shares t's backing and
+// is safe only while t's storage is immutable) and a fresh tuple otherwise.
+func (p Projector) SharedApply(t Tuple) Tuple {
+	if p.prefix {
+		return t[:len(p.idx):len(p.idx)]
+	}
+	return p.Apply(t)
 }
 
 // MustProjector is NewProjector that panics on error, for statically known

@@ -89,6 +89,33 @@ func (v Value) String() string {
 	}
 }
 
+// Hash returns a 64-bit FNV-1a hash of the value, stable across processes.
+// Shard routing uses it, so partition assignment is deterministic for a
+// given shard count.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(v.kind)
+	h *= prime64
+	if v.kind == KindString {
+		for i := 0; i < len(v.str); i++ {
+			h ^= uint64(v.str[i])
+			h *= prime64
+		}
+		return h
+	}
+	n := v.num
+	for i := 0; i < 8; i++ {
+		h ^= n & 0xff
+		h *= prime64
+		n >>= 8
+	}
+	return h
+}
+
 // appendKey appends a self-delimiting binary encoding of the value to b.
 // The encoding is order-preserving for values of the same kind (big-endian
 // with the int64 sign bit flipped), so lexicographic key order matches

@@ -20,6 +20,20 @@ type NamedDelta[P any] struct {
 // instead of once per update. The input deltas are never mutated: a combined
 // relation is materialized only for relations that appear more than once.
 func coalesceBatch[P any](batch []NamedDelta[P]) []NamedDelta[P] {
+	// Drop nil deltas up front, so they are no-ops for every strategy and
+	// batch shape rather than reaching a maintainer's single-delta path.
+	for _, nd := range batch {
+		if nd.Delta == nil {
+			f := make([]NamedDelta[P], 0, len(batch))
+			for _, nd := range batch {
+				if nd.Delta != nil {
+					f = append(f, nd)
+				}
+			}
+			batch = f
+			break
+		}
+	}
 	if len(batch) < 2 {
 		return batch
 	}
@@ -109,6 +123,9 @@ func (m *ReEval[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 		return nil
 	}
 	for _, nd := range batch {
+		if nd.Delta == nil {
+			continue
+		}
 		if err := m.absorb(nd.Rel, nd.Delta); err != nil {
 			return err
 		}
@@ -124,6 +141,9 @@ func (m *NaiveReEval[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 		return nil
 	}
 	for _, nd := range batch {
+		if nd.Delta == nil {
+			continue
+		}
 		if err := m.absorb(nd.Rel, nd.Delta); err != nil {
 			return err
 		}

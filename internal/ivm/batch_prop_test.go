@@ -147,6 +147,15 @@ func TestApplyDeltasEmptyAndNil(t *testing.T) {
 			if err := m.ApplyDeltas([]NamedDelta[int64]{{Rel: "S", Delta: empty}}); err != nil {
 				t.Fatal(err)
 			}
+			// A nil delta is a no-op for every batch shape, including a
+			// relation that appears only once (regression: this used to
+			// reach the single-delta path and panic).
+			if err := m.ApplyDeltas([]NamedDelta[int64]{{Rel: "S", Delta: nil}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.ApplyDeltas([]NamedDelta[int64]{{Rel: "S", Delta: nil}, {Rel: "R", Delta: nil}}); err != nil {
+				t.Fatal(err)
+			}
 			if got := m.Result().String(); got != before {
 				t.Fatalf("empty batch changed result: %s vs %s", got, before)
 			}

@@ -1,0 +1,336 @@
+package ivm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fivm/internal/data"
+	"fivm/internal/query"
+	"fivm/internal/ring"
+)
+
+// Parallel is a sharded parallel maintainer: it hash-partitions the
+// database by one join variable — the shard variable — and runs one
+// independent inner maintainer per shard on a fixed worker pool.
+//
+// Correctness rests on partition-plus-broadcast join distribution. Let X be
+// the shard variable and h the shard assignment on its values. Relations
+// whose schema contains X are partitioned: shard i holds exactly the tuples
+// with h(t[X]) = i. Relations without X are broadcast, fully replicated in
+// every shard. Tuples from different partitions of X-bearing relations never
+// join (they disagree on X), and every join output binds X, so the full
+// join is the disjoint union of the per-shard joins; marginalization
+// distributes over that union. The maintained query result is therefore the
+// key-wise payload sum of the shard results, which Result materializes:
+// disjoint key union when X is free in the query, a payload reduction when
+// X is aggregated away (the empty-key root of Figure 7's cofactor queries).
+//
+// The shard variable is the query variable covered by the most relation
+// schemas (the root of the paper's variable orders for the snowflake and
+// star workloads). When the query has no variables to shard on, or workers
+// is 1, Parallel degenerates to a zero-overhead sequential delegate.
+//
+// Floating-point caveat: shard results are reduced in fixed shard order,
+// but that order differs from sequential update order, so non-integral
+// float payloads may round differently than a single-threaded run. Integer
+// and integral-float workloads (and the paper's benchmarks) are exact.
+type Parallel[P any] struct {
+	q        query.Query
+	ring     ring.Ring[P]
+	shardVar string
+	shards   []Maintainer[P]
+
+	jobs   chan func()
+	closed bool
+
+	// Routing scratch, reused across ApplyDeltas calls: one Sharded routing
+	// relation per updated relation name, the per-shard batches assembled
+	// from them, and the per-shard error slots for one dispatch.
+	routes  map[string]*data.Sharded[P]
+	order   []string
+	batches [][]NamedDelta[P]
+	errs    []error
+	one     []NamedDelta[P]
+}
+
+// pickShardVar returns the query variable contained in the most relation
+// schemas, breaking ties by the query's variable order. Empty only when the
+// query has no variables.
+func pickShardVar(q query.Query) string {
+	best, bestCover := "", 0
+	for _, v := range q.Vars() {
+		cover := 0
+		for _, rd := range q.Rels {
+			if rd.Schema.Contains(v) {
+				cover++
+			}
+		}
+		if cover > bestCover {
+			best, bestCover = v, cover
+		}
+	}
+	return best
+}
+
+// NewParallel builds a sharded parallel maintainer over workers shards,
+// each an independent maintainer built by factory (strategies hold
+// per-instance state, so every shard needs its own). workers <= 1, or a
+// query with nothing to shard on, yields a sequential single-shard
+// delegate. workers is clamped to runtime.NumCPU(): each update is a
+// barrier across shards, so sharding beyond the available cores adds
+// routing overhead without any parallelism in return.
+func NewParallel[P any](q query.Query, r ring.Ring[P], workers int, factory func() (Maintainer[P], error)) (*Parallel[P], error) {
+	if n := runtime.NumCPU(); workers > n {
+		workers = n
+	}
+	return newParallel(q, r, workers, factory)
+}
+
+// newParallel is NewParallel without the CPU clamp, for tests that exercise
+// the sharding math at fixed shard counts regardless of host hardware.
+func newParallel[P any](q query.Query, r ring.Ring[P], workers int, factory func() (Maintainer[P], error)) (*Parallel[P], error) {
+	shardVar := pickShardVar(q)
+	if workers < 1 || shardVar == "" {
+		workers = 1
+	}
+	p := &Parallel[P]{q: q, ring: r, shardVar: shardVar}
+	if workers == 1 {
+		m, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		p.shards = []Maintainer[P]{m}
+		return p, nil
+	}
+	for i := 0; i < workers; i++ {
+		m, err := factory()
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.shards = append(p.shards, m)
+	}
+	p.routes = make(map[string]*data.Sharded[P])
+	p.batches = make([][]NamedDelta[P], workers)
+	p.errs = make([]error, workers)
+	p.jobs = make(chan func(), workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p, nil
+}
+
+// Sharded reports whether the maintainer actually partitions work (false
+// for the sequential single-shard fallback).
+func (p *Parallel[P]) Sharded() bool { return len(p.shards) > 1 }
+
+// Workers returns the number of shards (1 for the sequential fallback).
+func (p *Parallel[P]) Workers() int { return len(p.shards) }
+
+// ShardVar returns the variable the database is partitioned on ("" when the
+// query has no variables).
+func (p *Parallel[P]) ShardVar() string { return p.shardVar }
+
+// Close stops the worker pool. The maintainer must not be used afterwards.
+func (p *Parallel[P]) Close() error {
+	if p.jobs != nil && !p.closed {
+		close(p.jobs)
+		p.closed = true
+	}
+	return nil
+}
+
+// dispatch runs f(shard) for every shard in the index set on the worker
+// pool and returns the first error in shard order.
+func (p *Parallel[P]) dispatch(idx []int, f func(s int) error) error {
+	var wg sync.WaitGroup
+	for _, s := range idx {
+		s := s
+		wg.Add(1)
+		p.jobs <- func() {
+			defer wg.Done()
+			p.errs[s] = f(s)
+		}
+	}
+	wg.Wait()
+	for _, s := range idx {
+		if err := p.errs[s]; err != nil {
+			p.errs[s] = nil
+			return fmt.Errorf("ivm: shard %d: %w", s, err)
+		}
+		p.errs[s] = nil
+	}
+	return nil
+}
+
+// allShards returns [0..n) for dispatching to every shard.
+func (p *Parallel[P]) allShards() []int {
+	out := make([]int, len(p.shards))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Load installs initial contents, splitting relations that carry the shard
+// variable and replicating the rest. Every shard gets its own clone — never
+// the caller's relation — so per-relation scratch state never crosses
+// goroutines and later caller-side mutations of r cannot skew one shard's
+// snapshot against the others'.
+func (p *Parallel[P]) Load(rel string, r *data.Relation[P]) error {
+	if !p.Sharded() {
+		return p.shards[0].Load(rel, r)
+	}
+	if r.Schema().Contains(p.shardVar) {
+		parts, err := data.Split(r, p.shardVar, len(p.shards))
+		if err != nil {
+			return err
+		}
+		for s, part := range parts {
+			if err := p.shards[s].Load(rel, part); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, m := range p.shards {
+		if err := m.Load(rel, r.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Init initializes every shard in parallel.
+func (p *Parallel[P]) Init() error {
+	if !p.Sharded() {
+		return p.shards[0].Init()
+	}
+	return p.dispatch(p.allShards(), func(s int) error { return p.shards[s].Init() })
+}
+
+// ApplyDelta routes one relation's delta to its shards and propagates in
+// parallel.
+func (p *Parallel[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
+	if !p.Sharded() {
+		return p.shards[0].ApplyDelta(rel, delta)
+	}
+	p.one = append(p.one[:0], NamedDelta[P]{Rel: rel, Delta: delta})
+	return p.ApplyDeltas(p.one)
+}
+
+// ApplyDeltas routes a batch: deltas of shard-variable relations are
+// hash-partitioned tuple by tuple, deltas of broadcast relations go to
+// every shard (shared read-only — maintainers only iterate input deltas),
+// then every shard with work propagates concurrently on the worker pool.
+func (p *Parallel[P]) ApplyDeltas(batch []NamedDelta[P]) error {
+	if !p.Sharded() {
+		return p.shards[0].ApplyDeltas(batch)
+	}
+	n := len(p.shards)
+	for s := range p.batches {
+		p.batches[s] = p.batches[s][:0]
+	}
+	p.order = p.order[:0]
+	for _, nd := range batch {
+		if nd.Delta == nil || nd.Delta.Len() == 0 {
+			continue
+		}
+		if !nd.Delta.Schema().Contains(p.shardVar) {
+			for s := range p.batches {
+				p.batches[s] = append(p.batches[s], nd)
+			}
+			continue
+		}
+		seen := false
+		for _, prev := range p.order {
+			if prev == nd.Rel {
+				seen = true
+				break
+			}
+		}
+		route := p.routes[nd.Rel]
+		if !seen {
+			// First occurrence of this relation in the batch: reset or
+			// (re)build its routing scratch. Later occurrences accumulate
+			// into the same scratch, coalescing per shard.
+			if route != nil && route.N() == n && route.Shard(0).Schema().Equal(nd.Delta.Schema()) {
+				route.Clear()
+			} else {
+				var err error
+				route, err = data.NewSharded[P](p.ring, nd.Delta.Schema(), p.shardVar, n)
+				if err != nil {
+					return err
+				}
+				p.routes[nd.Rel] = route
+			}
+			p.order = append(p.order, nd.Rel)
+		}
+		d := nd.Delta
+		if rs := route.Shard(0).Schema(); !rs.Equal(d.Schema()) {
+			// A repeated relation arrived with a differently ordered schema;
+			// normalize to the routing schema before partitioning.
+			d = data.Project(d, rs)
+		}
+		d.Iterate(func(t data.Tuple, pl P) bool {
+			route.Merge(t, pl)
+			return true
+		})
+	}
+	// Assemble per-shard batches from the routed relations (only now are
+	// same-relation deltas fully coalesced per shard).
+	for _, rel := range p.order {
+		route := p.routes[rel]
+		for s := 0; s < n; s++ {
+			if d := route.Shard(s); d.Len() > 0 {
+				p.batches[s] = append(p.batches[s], NamedDelta[P]{Rel: rel, Delta: d})
+			}
+		}
+	}
+	var idx [64]int
+	work := idx[:0]
+	for s := 0; s < n; s++ {
+		if len(p.batches[s]) > 0 {
+			work = append(work, s)
+		}
+	}
+	if len(work) == 0 {
+		return nil
+	}
+	return p.dispatch(work, func(s int) error { return p.shards[s].ApplyDeltas(p.batches[s]) })
+}
+
+// Result merges the shard results key-wise: the disjoint union of shard
+// outputs when the shard variable is free, the payload sum when it is
+// aggregated away.
+func (p *Parallel[P]) Result() *data.Relation[P] {
+	if !p.Sharded() {
+		return p.shards[0].Result()
+	}
+	first := p.shards[0].Result()
+	out := data.NewRelation(p.ring, first.Schema())
+	out.Reserve(first.Len())
+	for _, m := range p.shards {
+		out.MergeAll(m.Result())
+	}
+	return out
+}
+
+// ViewCount reports the logical view count (every shard materializes the
+// same view structure).
+func (p *Parallel[P]) ViewCount() int { return p.shards[0].ViewCount() }
+
+// MemoryBytes sums the shards' materialized state (broadcast relations are
+// replicated and counted once per shard, as they are truly held per shard).
+func (p *Parallel[P]) MemoryBytes() int {
+	total := 0
+	for _, m := range p.shards {
+		total += m.MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,241 @@
+package ivm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fivm/internal/data"
+	"fivm/internal/query"
+	"fivm/internal/ring"
+)
+
+// parallelStrategies enumerates the maintainer factories the parallel
+// wrapper is differentially tested over.
+func parallelStrategies[P any](t *testing.T, q query.Query, r ring.Ring[P], lift data.LiftFunc[P]) map[string]func() (Maintainer[P], error) {
+	t.Helper()
+	return map[string]func() (Maintainer[P], error){
+		"F-IVM": func() (Maintainer[P], error) {
+			return New[P](q, paperOrder(), r, lift, Options[P]{})
+		},
+		"1-IVM": func() (Maintainer[P], error) {
+			return NewFirstOrder[P](q, paperOrder(), r, lift)
+		},
+		"DBT": func() (Maintainer[P], error) {
+			return NewRecursive[P](q, r, lift, nil)
+		},
+		"RE-EVAL": func() (Maintainer[P], error) {
+			return NewReEval[P](q, paperOrder(), r, lift)
+		},
+	}
+}
+
+// runParallelEquivalence drives a sharded parallel maintainer (workers in
+// {1, 2, 8}) and a sequential instance of each strategy through identical
+// random batches — mixing sharded and broadcast relations, inserts and
+// deletes, and preloaded contents — and demands byte-identical rendered
+// results after every batch.
+func runParallelEquivalence[P any](t *testing.T, q query.Query, r ring.Ring[P], lift data.LiftFunc[P],
+	mkDelta func(rng *rand.Rand, schema data.Schema) *data.Relation[P]) {
+	t.Helper()
+	for name, mk := range parallelStrategies(t, q, r, lift) {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(len(name))*313 + int64(workers)))
+				par, err := newParallel[P](q, r, workers, mk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer par.Close()
+				seq, err := mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers > 1 && !par.Sharded() {
+					t.Fatalf("expected sharding for workers=%d", workers)
+				}
+
+				// Preload some contents so Init's split/replicate path is
+				// exercised too.
+				for _, rd := range q.Rels {
+					base := mkDelta(rng, rd.Schema)
+					if err := par.Load(rd.Name, base); err != nil {
+						t.Fatal(err)
+					}
+					if err := seq.Load(rd.Name, base); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for _, m := range []Maintainer[P]{par, seq} {
+					if err := m.Init(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if got, want := par.Result().String(), seq.Result().String(); got != want {
+					t.Fatalf("after Init: parallel %s vs sequential %s", got, want)
+				}
+
+				rels := q.RelNames()
+				for step := 0; step < 10; step++ {
+					n := 1 + rng.Intn(5)
+					batch := make([]NamedDelta[P], 0, n)
+					for i := 0; i < n; i++ {
+						rel := rels[rng.Intn(len(rels))]
+						rd, _ := q.Rel(rel)
+						batch = append(batch, NamedDelta[P]{Rel: rel, Delta: mkDelta(rng, rd.Schema)})
+					}
+					if err := par.ApplyDeltas(batch); err != nil {
+						t.Fatal(err)
+					}
+					if err := seq.ApplyDeltas(batch); err != nil {
+						t.Fatal(err)
+					}
+					got, want := par.Result().String(), seq.Result().String()
+					if got != want {
+						t.Fatalf("step %d: parallel %s vs sequential %s", step, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelMatchesSequentialInt checks the sharded parallel maintainer
+// over the Z ring for all four strategies.
+func TestParallelMatchesSequentialInt(t *testing.T) {
+	q := paperQuery("A")
+	runParallelEquivalence[int64](t, q, ring.Int{}, valueLift,
+		func(rng *rand.Rand, schema data.Schema) *data.Relation[int64] {
+			return randomDelta(rng, schema, 4, 1+rng.Intn(4))
+		})
+}
+
+// TestParallelMatchesSequentialFloat repeats the check over the R ring with
+// integral values, so float addition is exact and the reduction across
+// shards must be bit-identical.
+func TestParallelMatchesSequentialFloat(t *testing.T) {
+	q := paperQuery("A")
+	sumLiftD := func(v string, x data.Value) float64 {
+		if v == "D" {
+			return x.AsFloat()
+		}
+		return 1
+	}
+	runParallelEquivalence[float64](t, q, ring.Float{}, sumLiftD,
+		func(rng *rand.Rand, schema data.Schema) *data.Relation[float64] {
+			d := data.NewRelation[float64](ring.Float{}, schema)
+			for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+				tup := make(data.Tuple, len(schema))
+				for j := range tup {
+					tup[j] = data.Int(int64(rng.Intn(4)))
+				}
+				d.Merge(tup, float64(rng.Intn(5)-2))
+			}
+			return d
+		})
+}
+
+// TestParallelMatchesSequentialCofactor repeats the check over the cofactor
+// ring — the workload the parallel engine targets — with a free group-by
+// variable, so shard results stay keyed and the merged result must align
+// key-wise and triple-wise.
+func TestParallelMatchesSequentialCofactor(t *testing.T) {
+	q := paperQuery("A")
+	vars := q.Vars()
+	idx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	lift := func(v string, x data.Value) ring.Triple {
+		return ring.LiftValue(idx[v], x.AsFloat())
+	}
+	cf := ring.Cofactor{}
+	runParallelEquivalence[ring.Triple](t, q, cf, lift,
+		func(rng *rand.Rand, schema data.Schema) *data.Relation[ring.Triple] {
+			d := data.NewRelation[ring.Triple](cf, schema)
+			for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+				tup := make(data.Tuple, len(schema))
+				for j := range tup {
+					tup[j] = data.Int(int64(rng.Intn(4)))
+				}
+				c := float64(rng.Intn(4) - 1)
+				if c == 0 {
+					c = 1
+				}
+				d.Merge(tup, ring.Triple{C: c})
+			}
+			return d
+		})
+}
+
+// TestParallelAggregateRoot checks the empty-key root case: every variable
+// aggregated away, so each shard produces a scalar payload and Result
+// reduces them. The count of the join must match the sequential engine
+// exactly.
+func TestParallelAggregateRoot(t *testing.T) {
+	q := paperQuery() // no free variables
+	rng := rand.New(rand.NewSource(77))
+	mk := func() (Maintainer[int64], error) {
+		return New[int64](q, paperOrder(), ring.Int{}, countLift, Options[int64]{})
+	}
+	par, err := newParallel[int64](q, ring.Int{}, 4, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	seq, _ := mk()
+	for _, m := range []Maintainer[int64]{par, seq} {
+		if err := m.Init(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; step < 8; step++ {
+		rel := q.RelNames()[rng.Intn(3)]
+		rd, _ := q.Rel(rel)
+		delta := randomDelta(rng, rd.Schema, 3, 1+rng.Intn(5))
+		if err := par.ApplyDelta(rel, delta); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.ApplyDelta(rel, delta); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := par.Result().String(), seq.Result().String(); got != want {
+			t.Fatalf("step %d: parallel %s vs sequential %s", step, got, want)
+		}
+	}
+}
+
+// TestParallelShardVar pins the shard-variable choice: the variable covered
+// by the most relations.
+func TestParallelShardVar(t *testing.T) {
+	if v := pickShardVar(paperQuery()); v != "A" {
+		t.Fatalf("paper query shard var = %q, want A (covers R and S)", v)
+	}
+}
+
+// TestParallelSequentialFallback checks that workers=1 produces a direct
+// delegate with no sharding machinery.
+func TestParallelSequentialFallback(t *testing.T) {
+	q := paperQuery("A")
+	par, err := NewParallel[int64](q, ring.Int{}, 1, func() (Maintainer[int64], error) {
+		return New[int64](q, paperOrder(), ring.Int{}, countLift, Options[int64]{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	if par.Sharded() {
+		t.Fatal("workers=1 should not shard")
+	}
+	if par.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", par.Workers())
+	}
+	if err := par.Init(); err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := q.Rel("R")
+	rng := rand.New(rand.NewSource(3))
+	if err := par.ApplyDelta("R", randomDelta(rng, rd.Schema, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+}

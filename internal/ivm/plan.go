@@ -29,11 +29,41 @@ type planStep[P any] struct {
 	// per step. Plans are engine-owned and single-threaded; the output
 	// relation is consumed (merged and iterated) before the next exec of the
 	// same step, and its tuples/payloads may be retained by views, which is
-	// safe because both are immutable once stored.
+	// safe because tuples are immutable and views copy payloads they intend
+	// to mutate (rings with in-place accumulation store owned deep copies).
 	items, spare []workItem[P]
 	keyBuf       []byte
 	out          *data.Relation[P]
+
+	// Product slots for the join stages: one append-only buffer per exec
+	// (reset between execs, never truncated mid-exec), so a slot pointer a
+	// work item carries across stages — including via the identity
+	// short-circuit, which hands a stage-k slot pointer to stage k+1 —
+	// stays valid for the whole call; see prodBuf.
+	prods prodBuf[P]
+	// tupArena backs the tuples of join-extended work items: slices into one
+	// growing buffer reused across execs (work items never outlive the next
+	// exec, and everything stored durably is copied by projection first).
+	tupArena data.Tuple
+
+	// Lift-product cache: lifting functions are pure (a paper invariant),
+	// and marginalized variables range over small domains, so the product of
+	// the step's liftings is memoized per marginalized-value combination.
+	// margProj encodes just those values as the cache key; values are stored
+	// by pointer so hits hand out a read-only operand without copying. The
+	// cache is reset if it ever exceeds liftCacheMax (unbounded domains).
+	margProj  data.Projector
+	liftCache map[string]*P
+	liftKey   []byte
+
+	// allFullSibs marks steps whose every sibling is probed by full key, so
+	// work items keep their (relation-stored, immutable) input tuples and
+	// the output relation may store prefix subslices instead of copies.
+	allFullSibs bool
 }
+
+// liftCacheMax bounds the per-step lift-product cache.
+const liftCacheMax = 1 << 16
 
 type margVar struct {
 	name string
@@ -100,6 +130,17 @@ func (e *Engine[P]) buildPlan(leaf *viewtree.Node) (*deltaPlan[P], error) {
 			}
 			st.margVars = append(st.margVars, margVar{name: mv, idx: i})
 		}
+		if len(st.margVars) > 0 {
+			st.margProj = data.MustProjector(acc, acc.Intersect(node.Marg))
+			st.liftCache = make(map[string]*P)
+		}
+		st.allFullSibs = true
+		for _, sib := range st.siblings {
+			if !sib.full {
+				st.allFullSibs = false
+				break
+			}
+		}
 		var err error
 		st.outProj, err = data.NewProjector(acc, node.Keys)
 		if err != nil {
@@ -148,9 +189,12 @@ func (p *deltaPlan[P]) run(e *Engine[P], delta *data.Relation[P]) error {
 	return nil
 }
 
+// workItem carries a join tuple and a pointer to its payload. Payloads stay
+// where they already live — delta entries, view entries, or a product slot
+// of the step's scratch buffers — so extending the join never copies them.
 type workItem[P any] struct {
 	t data.Tuple
-	p P
+	p *P
 }
 
 // exec computes the delta of st.node given the delta of the child it came
@@ -161,12 +205,17 @@ type workItem[P any] struct {
 // allocates only for freshly extended tuples.
 func (st *planStep[P]) exec(e *Engine[P], delta *data.Relation[P]) *data.Relation[P] {
 	items := st.items[:0]
-	delta.Iterate(func(t data.Tuple, p P) bool {
-		items = append(items, workItem[P]{t: t, p: p})
+	delta.IterateEntries(func(en *data.Entry[P]) bool {
+		items = append(items, workItem[P]{t: en.Tuple, p: &en.Payload})
 		return true
 	})
 
 	spare := st.spare
+	if st.prods.r == nil {
+		st.prods = newProdBuf[P](e.ring)
+	}
+	st.prods.reset()
+	arena := st.tupArena[:0]
 	for _, sib := range st.siblings {
 		if len(items) == 0 {
 			break
@@ -175,49 +224,72 @@ func (st *planStep[P]) exec(e *Engine[P], delta *data.Relation[P]) *data.Relatio
 		next := spare[:0]
 		if sib.full {
 			for _, it := range items {
-				if pay, ok := view.GetProjected(sib.probeProj, it.t); ok {
-					next = append(next, workItem[P]{t: it.t, p: e.ring.Mul(it.p, pay)})
+				if en := view.LookupProjected(sib.probeProj, it.t); en != nil {
+					next = append(next, workItem[P]{t: it.t, p: st.prods.product(it.p, &en.Payload)})
 				}
 			}
 		} else {
 			ix := view.EnsureIndex(sib.common)
-			extraLen := sib.extraProj.Len()
 			for _, it := range items {
 				st.keyBuf = sib.probeProj.AppendKey(st.keyBuf[:0], it.t)
 				for en := range ix.ProbeBytes(st.keyBuf) {
-					tt := make(data.Tuple, 0, len(it.t)+extraLen)
-					tt = append(tt, it.t...)
-					tt = sib.extraProj.AppendTo(tt, en.Tuple)
-					next = append(next, workItem[P]{t: tt, p: e.ring.Mul(it.p, en.Payload)})
+					start := len(arena)
+					arena = append(arena, it.t...)
+					arena = sib.extraProj.AppendTo(arena, en.Tuple)
+					tt := arena[start:len(arena):len(arena)]
+					next = append(next, workItem[P]{t: tt, p: st.prods.product(it.p, &en.Payload)})
 				}
 			}
 		}
 		items, spare = next, items
 	}
 	st.items, st.spare = items, spare
+	st.tupArena = arena
 
 	// Reserve only on first use: Clear retains the map's capacity, which a
-	// subsequent Reserve would throw away by allocating a fresh table.
+	// subsequent Reserve would throw away by allocating a fresh table. The
+	// output is recycling scratch: its entries live only until the next exec
+	// of this step, and every consumer copies what it keeps.
 	if st.out == nil {
 		st.out = data.NewRelation(e.ring, st.node.Keys)
+		st.out.RecycleCleared()
+		if st.allFullSibs {
+			st.out.ShareProjectedTuples()
+		}
 		st.out.Reserve(len(items))
 	} else {
 		st.out.Clear()
 	}
 	out := st.out
 	for _, it := range items {
-		p := it.p
 		// Multiply the liftings together first: lift values are small ring
 		// elements, while the accumulated payload can be large (a wide
-		// cofactor triple or a relational payload), so p joins the product
-		// once instead of once per variable.
+		// cofactor triple or a relational payload), so the payload joins the
+		// product once instead of once per variable — and, for rings with
+		// in-place accumulation, directly inside the output's stored payload
+		// via the fused multiply-merge (zero allocations on existing keys).
 		if len(st.margVars) > 0 {
-			lp := e.lift(st.margVars[0].name, it.t[st.margVars[0].idx])
-			for _, mv := range st.margVars[1:] {
-				lp = e.ring.Mul(lp, e.lift(mv.name, it.t[mv.idx]))
+			st.liftKey = st.margProj.AppendKey(st.liftKey[:0], it.t)
+			lp, ok := st.liftCache[string(st.liftKey)]
+			if !ok {
+				v := e.lift(st.margVars[0].name, it.t[st.margVars[0].idx])
+				for _, mv := range st.margVars[1:] {
+					v = e.ring.Mul(v, e.lift(mv.name, it.t[mv.idx]))
+				}
+				lp = &v
+				if len(st.liftCache) >= liftCacheMax {
+					clear(st.liftCache)
+				}
+				st.liftCache[string(st.liftKey)] = lp
 			}
-			p = e.ring.Mul(p, lp)
+			if e.opts.PayloadTransform != nil {
+				out.MergeProjected(st.outProj, it.t, e.opts.PayloadTransform(st.node, e.ring.Mul(*it.p, *lp)))
+			} else {
+				out.MergeMulProjected(st.outProj, it.t, it.p, lp)
+			}
+			continue
 		}
+		p := *it.p
 		if e.opts.PayloadTransform != nil {
 			p = e.opts.PayloadTransform(st.node, p)
 		}

@@ -34,6 +34,7 @@ type Recursive[P any] struct {
 
 	// Reusable scratch for viewDelta (single-threaded per maintainer).
 	items, spare []workItem[P]
+	prods        prodBuf[P]
 	keyBuf       []byte
 }
 
@@ -305,11 +306,15 @@ func (m *Recursive[P]) viewDelta(v *recView[P], rel string, rd query.RelDef, del
 	}
 	d := v.deltas[rel]
 	items := m.items[:0]
-	delta.Iterate(func(t data.Tuple, p P) bool {
-		items = append(items, workItem[P]{t: t, p: p})
+	delta.IterateEntries(func(en *data.Entry[P]) bool {
+		items = append(items, workItem[P]{t: en.Tuple, p: &en.Payload})
 		return true
 	})
 	spare := m.spare
+	if m.prods.r == nil {
+		m.prods = newProdBuf[P](m.ring)
+	}
+	m.prods.reset()
 	for _, c := range d.comps {
 		if len(items) == 0 {
 			break
@@ -317,8 +322,8 @@ func (m *Recursive[P]) viewDelta(v *recView[P], rel string, rd query.RelDef, del
 		next := spare[:0]
 		if c.full {
 			for _, it := range items {
-				if pay, ok := c.view.rel.GetProjected(c.probeProj, it.t); ok {
-					next = append(next, workItem[P]{t: it.t, p: m.ring.Mul(it.p, pay)})
+				if en := c.view.rel.LookupProjected(c.probeProj, it.t); en != nil {
+					next = append(next, workItem[P]{t: it.t, p: m.prods.product(it.p, &en.Payload)})
 				}
 			}
 		} else {
@@ -330,7 +335,7 @@ func (m *Recursive[P]) viewDelta(v *recView[P], rel string, rd query.RelDef, del
 					tt := make(data.Tuple, 0, len(it.t)+extraLen)
 					tt = append(tt, it.t...)
 					tt = c.extraProj.AppendTo(tt, en.Tuple)
-					next = append(next, workItem[P]{t: tt, p: m.ring.Mul(it.p, en.Payload)})
+					next = append(next, workItem[P]{t: tt, p: m.prods.product(it.p, &en.Payload)})
 				}
 			}
 		}
@@ -340,15 +345,15 @@ func (m *Recursive[P]) viewDelta(v *recView[P], rel string, rd query.RelDef, del
 	out := data.NewRelation(m.ring, v.free)
 	out.Reserve(len(items))
 	for _, it := range items {
-		p := it.p
 		if len(d.marg) > 0 {
 			lp := m.lift(d.marg[0].name, it.t[d.marg[0].idx])
 			for _, mv := range d.marg[1:] {
 				lp = m.ring.Mul(lp, m.lift(mv.name, it.t[mv.idx]))
 			}
-			p = m.ring.Mul(p, lp)
+			out.MergeMulProjected(d.outProj, it.t, it.p, &lp)
+		} else {
+			out.MergeProjected(d.outProj, it.t, *it.p)
 		}
-		out.MergeProjected(d.outProj, it.t, p)
 	}
 	return out
 }

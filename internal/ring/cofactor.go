@@ -61,12 +61,8 @@ func (Cofactor) IsZero(a Triple) bool {
 
 // Neg returns the additive inverse, negating every component.
 func (Cofactor) Neg(a Triple) Triple {
-	out := Triple{
-		C:    -a.C,
-		Vars: a.Vars,
-		S:    make([]float64, len(a.S)),
-		Q:    make([]float64, len(a.Q)),
-	}
+	out := Triple{C: -a.C, Vars: a.Vars}
+	out.S, out.Q = newSQ(len(a.Vars))
 	for i, v := range a.S {
 		out.S[i] = -v
 	}
@@ -89,7 +85,8 @@ func (Cofactor) Add(a, b Triple) Triple {
 	}
 	if sameVars(a.Vars, b.Vars) {
 		k := len(a.Vars)
-		out := Triple{C: a.C + b.C, Vars: a.Vars, S: make([]float64, k), Q: make([]float64, k*k)}
+		out := Triple{C: a.C + b.C, Vars: a.Vars}
+		out.S, out.Q = newSQ(k)
 		for i := range out.S {
 			out.S[i] = a.S[i] + b.S[i]
 		}
@@ -100,7 +97,8 @@ func (Cofactor) Add(a, b Triple) Triple {
 	}
 	vars, ia, ib := mergeVars(a.Vars, b.Vars)
 	k := len(vars)
-	out := Triple{C: a.C + b.C, Vars: vars, S: make([]float64, k), Q: make([]float64, k*k)}
+	out := Triple{C: a.C + b.C, Vars: vars}
+	out.S, out.Q = newSQ(k)
 	scatterAdd(&out, a, ia, 1)
 	scatterAdd(&out, b, ib, 1)
 	return out
@@ -132,7 +130,8 @@ func (Cofactor) Mul(a, b Triple) Triple {
 	}
 	vars, ia, ib := mergeVars(a.Vars, b.Vars)
 	k := len(vars)
-	out := Triple{C: a.C * b.C, Vars: vars, S: make([]float64, k), Q: make([]float64, k*k)}
+	out := Triple{C: a.C * b.C, Vars: vars}
+	out.S, out.Q = newSQ(k)
 	// Scale-and-scatter the linear and quadratic blocks.
 	scatterAdd(&out, a, ia, b.C)
 	scatterAdd(&out, b, ib, a.C)
@@ -163,7 +162,11 @@ func (Cofactor) Bytes(a Triple) int {
 // LiftValue returns the lifting g_j(x) = (1, s_j = x, Q_{jj} = x²) for the
 // variable with index j (paper Section 6.2).
 func LiftValue(j int, x float64) Triple {
-	return Triple{C: 1, Vars: []int32{int32(j)}, S: []float64{x}, Q: []float64{x * x}}
+	out := Triple{C: 1, Vars: []int32{int32(j)}}
+	out.S, out.Q = newSQ(1)
+	out.S[0] = x
+	out.Q[0] = x * x
+	return out
 }
 
 // Count returns the scalar count aggregate of the triple.
@@ -215,7 +218,8 @@ func scaleTriple(a Triple, c float64) Triple {
 	if c == 0 {
 		return Triple{}
 	}
-	out := Triple{C: a.C * c, Vars: a.Vars, S: make([]float64, len(a.S)), Q: make([]float64, len(a.Q))}
+	out := Triple{C: a.C * c, Vars: a.Vars}
+	out.S, out.Q = newSQ(len(a.Vars))
 	for i, v := range a.S {
 		out.S[i] = v * c
 	}

@@ -1,0 +1,78 @@
+package ring
+
+import "testing"
+
+// benchTriple builds a k-variable triple with dense S and Q blocks, the
+// shape of an upper-view cofactor payload.
+func benchTriple(k int) Triple {
+	t := Triple{C: 2}
+	for i := 0; i < k; i++ {
+		t.Vars = append(t.Vars, int32(i))
+		t.S = append(t.S, float64(i+1))
+	}
+	for i := 0; i < k*k; i++ {
+		t.Q = append(t.Q, float64(i%7))
+	}
+	return t
+}
+
+// BenchmarkTripleAdd measures the immutable payload sum on 16-variable
+// triples: the pre-optimization accumulation cost (fresh S and Q per call).
+func BenchmarkTripleAdd(b *testing.B) {
+	cf := Cofactor{}
+	acc, d := benchTriple(16), benchTriple(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acc = cf.Add(acc, d)
+	}
+	_ = acc
+}
+
+// BenchmarkTripleAddInto measures steady-state in-place accumulation: the
+// accumulator covers the operand's variables, so no allocation occurs.
+func BenchmarkTripleAddInto(b *testing.B) {
+	acc, d := benchTriple(16), benchTriple(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acc.AddInto(&d)
+	}
+}
+
+// BenchmarkTripleMul measures the immutable ring product of an 8-variable
+// payload with a 1-variable lifting, the dominant product shape on delta
+// paths.
+func BenchmarkTripleMul(b *testing.B) {
+	cf := Cofactor{}
+	p, l := benchTriple(8), LiftValue(9, 3)
+	b.ReportAllocs()
+	var out Triple
+	for i := 0; i < b.N; i++ {
+		out = cf.Mul(p, l)
+	}
+	_ = out
+}
+
+// BenchmarkTripleMulInto measures the same product computed into a reused
+// destination.
+func BenchmarkTripleMulInto(b *testing.B) {
+	cf := Cofactor{}
+	p, l := benchTriple(8), LiftValue(9, 3)
+	var dst Triple
+	cf.MulInto(&dst, &p, &l) // warm capacity
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cf.MulInto(&dst, &p, &l)
+	}
+}
+
+// BenchmarkTripleMulAddInto measures the fused multiply-accumulate used by
+// view merges: dst += p * lift, fully in place.
+func BenchmarkTripleMulAddInto(b *testing.B) {
+	p, l := benchTriple(8), LiftValue(9, 3)
+	var dst Triple
+	dst.MulAddInto(&p, &l) // warm coverage
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst.MulAddInto(&p, &l)
+	}
+}

@@ -147,6 +147,72 @@ func (DegreeMap) Mul(a, b DegMap) DegMap {
 // Bytes estimates the heap footprint of the payload map.
 func (DegreeMap) Bytes(a DegMap) int { return 48 + len(a)*28 }
 
+// AddInto accumulates src into *dst in place, dropping entries that cancel.
+func (DegreeMap) AddInto(dst *DegMap, src DegMap) {
+	if len(src) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = make(DegMap, len(src))
+	}
+	m := *dst
+	for k, v := range src {
+		if s := m[k] + v; s == 0 {
+			delete(m, k)
+		} else {
+			m[k] = s
+		}
+	}
+}
+
+// MulAddInto accumulates *dst += *a * *b, truncating above degree two.
+func (DegreeMap) MulAddInto(dst, a, b *DegMap) {
+	if len(*a) == 0 || len(*b) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = make(DegMap, len(*a)+len(*b))
+	}
+	m := *dst
+	for ka, va := range *a {
+		for kb, vb := range *b {
+			k, ok := ka.combine(kb)
+			if !ok {
+				continue
+			}
+			if s := m[k] + va*vb; s == 0 {
+				delete(m, k)
+			} else {
+				m[k] = s
+			}
+		}
+	}
+}
+
+// MulInto sets *dst = *a * *b, reusing dst's map storage.
+func (r DegreeMap) MulInto(dst, a, b *DegMap) {
+	clear(*dst)
+	r.MulAddInto(dst, a, b)
+}
+
+// IsOne reports whether *a holds only the count aggregate with value 1.
+func (DegreeMap) IsOne(a *DegMap) bool { return len(*a) == 1 && (*a)[CountDeg] == 1 }
+
+// CopyInto sets *dst to a deep copy of src.
+func (DegreeMap) CopyInto(dst *DegMap, src DegMap) {
+	clear(*dst)
+	if len(src) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = make(DegMap, len(src))
+	}
+	m := *dst
+	for k, v := range src {
+		m[k] = v
+	}
+}
+
 // LiftDegMap returns the lifting of value x for variable j:
 // {SUM(1): 1, SUM(X_j): x, SUM(X_j*X_j): x²}.
 func LiftDegMap(j int, x float64) DegMap {

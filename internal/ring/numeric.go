@@ -25,6 +25,21 @@ func (Int) IsZero(a int64) bool { return a == 0 }
 // Bytes reports the payload footprint (8 bytes for an int64).
 func (Int) Bytes(int64) int { return 8 }
 
+// AddInto accumulates src into *dst.
+func (Int) AddInto(dst *int64, src int64) { *dst += src }
+
+// MulInto sets *dst = *a * *b.
+func (Int) MulInto(dst, a, b *int64) { *dst = *a * *b }
+
+// MulAddInto accumulates *dst += *a * *b.
+func (Int) MulAddInto(dst, a, b *int64) { *dst += *a * *b }
+
+// CopyInto sets *dst = src.
+func (Int) CopyInto(dst *int64, src int64) { *dst = src }
+
+// IsOne reports *a == 1.
+func (Int) IsOne(a *int64) bool { return *a == 1 }
+
 // Float is the ring R of float64 values with the usual arithmetic. Strictly
 // a ring only up to floating-point rounding; the engine relies on exact
 // cancellation only for payloads produced by matching insert/delete pairs,
@@ -51,3 +66,18 @@ func (Float) IsZero(a float64) bool { return a == 0 }
 
 // Bytes reports the payload footprint (8 bytes for a float64).
 func (Float) Bytes(float64) int { return 8 }
+
+// AddInto accumulates src into *dst.
+func (Float) AddInto(dst *float64, src float64) { *dst += src }
+
+// MulInto sets *dst = *a * *b.
+func (Float) MulInto(dst, a, b *float64) { *dst = *a * *b }
+
+// MulAddInto accumulates *dst += *a * *b.
+func (Float) MulAddInto(dst, a, b *float64) { *dst += *a * *b }
+
+// CopyInto sets *dst = src.
+func (Float) CopyInto(dst *float64, src float64) { *dst = src }
+
+// IsOne reports *a == 1.
+func (Float) IsOne(a *float64) bool { return *a == 1 }

@@ -16,11 +16,34 @@ type PairVal[A, B any] struct {
 type Product[A, B any] struct {
 	RA Ring[A]
 	RB Ring[B]
+
+	// ma and mb cache the components' Mutable extensions so the in-place
+	// operations don't pay two interface type assertions per payload merge.
+	// NewProduct fills them; the accessors fall back to asserting lazily for
+	// literal-constructed values.
+	ma Mutable[A]
+	mb Mutable[B]
 }
 
 // NewProduct builds the product of two rings.
 func NewProduct[A, B any](ra Ring[A], rb Ring[B]) Product[A, B] {
-	return Product[A, B]{RA: ra, RB: rb}
+	return Product[A, B]{RA: ra, RB: rb, ma: MutableOf(ra), mb: MutableOf(rb)}
+}
+
+// mutA returns the cached Mutable extension of the A component.
+func (r Product[A, B]) mutA() Mutable[A] {
+	if r.ma != nil {
+		return r.ma
+	}
+	return MutableOf(r.RA)
+}
+
+// mutB returns the cached Mutable extension of the B component.
+func (r Product[A, B]) mutB() Mutable[B] {
+	if r.mb != nil {
+		return r.mb
+	}
+	return MutableOf(r.RB)
 }
 
 // Zero returns (0, 0).
@@ -51,6 +74,73 @@ func (r Product[A, B]) Mul(a, b PairVal[A, B]) PairVal[A, B] {
 // IsZero reports whether both components are zero.
 func (r Product[A, B]) IsZero(a PairVal[A, B]) bool {
 	return r.RA.IsZero(a.A) && r.RB.IsZero(a.B)
+}
+
+// AddInto accumulates component-wise, in place for components whose rings
+// support it and via immutable Add otherwise (an immutable component is then
+// reassigned, never mutated, so sharing its storage stays safe).
+func (r Product[A, B]) AddInto(dst *PairVal[A, B], src PairVal[A, B]) {
+	if ma := r.mutA(); ma != nil {
+		ma.AddInto(&dst.A, src.A)
+	} else {
+		dst.A = r.RA.Add(dst.A, src.A)
+	}
+	if mb := r.mutB(); mb != nil {
+		mb.AddInto(&dst.B, src.B)
+	} else {
+		dst.B = r.RB.Add(dst.B, src.B)
+	}
+}
+
+// MulInto sets *dst = a * b component-wise.
+func (r Product[A, B]) MulInto(dst, a, b *PairVal[A, B]) {
+	if ma := r.mutA(); ma != nil {
+		ma.MulInto(&dst.A, &a.A, &b.A)
+	} else {
+		dst.A = r.RA.Mul(a.A, b.A)
+	}
+	if mb := r.mutB(); mb != nil {
+		mb.MulInto(&dst.B, &a.B, &b.B)
+	} else {
+		dst.B = r.RB.Mul(a.B, b.B)
+	}
+}
+
+// MulAddInto accumulates *dst += a * b component-wise.
+func (r Product[A, B]) MulAddInto(dst, a, b *PairVal[A, B]) {
+	if ma := r.mutA(); ma != nil {
+		ma.MulAddInto(&dst.A, &a.A, &b.A)
+	} else {
+		dst.A = r.RA.Add(dst.A, r.RA.Mul(a.A, b.A))
+	}
+	if mb := r.mutB(); mb != nil {
+		mb.MulAddInto(&dst.B, &a.B, &b.B)
+	} else {
+		dst.B = r.RB.Add(dst.B, r.RB.Mul(a.B, b.B))
+	}
+}
+
+// CopyInto sets *dst = src, deep-copying components whose rings support it.
+// Components of immutable rings are shared, which is safe because AddInto
+// and MulAddInto never mutate them in place.
+func (r Product[A, B]) CopyInto(dst *PairVal[A, B], src PairVal[A, B]) {
+	if ma := r.mutA(); ma != nil {
+		ma.CopyInto(&dst.A, src.A)
+	} else {
+		dst.A = src.A
+	}
+	if mb := r.mutB(); mb != nil {
+		mb.CopyInto(&dst.B, src.B)
+	} else {
+		dst.B = src.B
+	}
+}
+
+// IsOne reports whether both components are their rings' identities; a
+// component of a ring without Mutable makes IsOne conservatively false.
+func (r Product[A, B]) IsOne(a *PairVal[A, B]) bool {
+	ma, mb := r.mutA(), r.mutB()
+	return ma != nil && mb != nil && ma.IsOne(&a.A) && mb.IsOne(&a.B)
 }
 
 // Bytes sums the component footprints when both rings are Sized.

@@ -25,7 +25,9 @@ package ring
 // general), but all rings used by the engine are.
 //
 // Implementations must treat payload values as immutable: Add, Mul, and Neg
-// must not modify their arguments, because views share payload values.
+// must not modify their arguments, because views share payload values. Rings
+// may additionally implement Mutable for in-place accumulation; those
+// operations mutate only a destination the caller exclusively owns.
 type Ring[T any] interface {
 	// Zero returns the additive identity.
 	Zero() T
@@ -40,6 +42,50 @@ type Ring[T any] interface {
 	// IsZero reports whether a equals the additive identity. Relations use
 	// it to drop keys whose payloads vanish, keeping supports finite.
 	IsZero(a T) bool
+}
+
+// Mutable is an optional extension implemented by rings whose payloads can
+// be accumulated in place without allocating. The immutable Ring operations
+// return fresh values on every call, which on hot maintenance paths means a
+// fresh slice (or map) per payload merge; the Mutable forms instead write
+// into a destination the caller exclusively owns, reusing its storage.
+//
+// Contract: *dst must be exclusively owned by the caller (no other live
+// value shares its backing storage), and after the call *dst still shares no
+// storage with src, a, or b. Relations detect Mutable at construction and
+// switch to owned accumulation: stored payloads are deep copies (CopyInto)
+// mutated in place by later merges (AddInto/MulAddInto), so payloads read
+// out of a relation are snapshots only until its next update.
+// All operands are passed by pointer: payloads can be wide (a cofactor
+// triple is 80 bytes of header plus its blocks), and the point of these
+// operations is to avoid moving payloads around. Operands are never written
+// through — only *dst is.
+type Mutable[T any] interface {
+	// AddInto accumulates src into *dst in place: *dst += src. src is taken
+	// by value: merge sources usually arrive as by-value parameters, and
+	// passing their address through an interface call would force them to
+	// escape (one heap allocation per merge).
+	AddInto(dst *T, src T)
+	// MulInto sets *dst = *a * *b, reusing dst's storage where possible.
+	// dst must not alias a or b.
+	MulInto(dst, a, b *T)
+	// MulAddInto accumulates a product: *dst += *a * *b. dst must not alias
+	// a or b.
+	MulAddInto(dst, a, b *T)
+	// CopyInto sets *dst to a deep copy of src, reusing dst's storage (by
+	// value for the same escape reason as AddInto).
+	CopyInto(dst *T, src T)
+	// IsOne reports whether *a is the multiplicative identity, letting hot
+	// paths skip products by one entirely (sharing the other operand is
+	// always safe: values are never mutated through reads).
+	IsOne(a *T) bool
+}
+
+// MutableOf returns the ring's Mutable extension, or nil if the ring only
+// supports immutable operations.
+func MutableOf[T any](r Ring[T]) Mutable[T] {
+	m, _ := r.(Mutable[T])
+	return m
 }
 
 // Sub returns a - b, a convenience over Add and Neg.
