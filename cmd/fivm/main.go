@@ -35,6 +35,11 @@ Experiments (paper artifact each regenerates):
   triangle-indicator  indicator projections on the triangle (Appendix B)
   ablations           engine design-choice ablations (chain composition,
                       materialization rule, payload encoding)
+  autoorder           optimizer ablation: handpicked vs cost-chosen orders
+                      (and cost-based materialization) on fig7/fig13 queries
+  explain             print the optimizer's plan for a dataset: chosen
+                      order, width, estimated vs actual view sizes, and
+                      materialization decisions
   views               print a dataset's view tree and materialization
   sql "SELECT ..."    maintain an ad-hoc query over a dataset's stream
   all                 everything above at default scale
@@ -58,6 +63,7 @@ func main() {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-strategy timeout (the paper's 1h limit, scaled)")
 	scale := fs.Int("scale", 1, "dataset scale multiplier")
 	noScalar := fs.Bool("no-scalar", false, "skip the per-aggregate scalar competitors (DBT, 1-IVM)")
+	autoOrder := fs.Bool("auto-order", false, "let the cost-based optimizer choose variable orders (fig7, fig13, explain) instead of the handpicked ones")
 	fs.Parse(os.Args[2:])
 
 	retailer := datasets.DefaultRetailer()
@@ -82,6 +88,7 @@ func main() {
 		cfg.Retailer = retailer
 		cfg.Housing = housing
 		cfg.IncludeScalar = !*noScalar
+		cfg.AutoOrder = *autoOrder
 		print(bench.Fig7(cfg)...)
 	}
 	runFig8 := func(ds string) {
@@ -131,6 +138,7 @@ func main() {
 		cfg.Timeout = *timeout
 		cfg.Workers = *workers
 		cfg.Twitter = twitter
+		cfg.AutoOrder = *autoOrder
 		print(bench.Fig13(cfg)...)
 	case "triangle-indicator":
 		cfg := bench.DefaultFig13()
@@ -143,6 +151,17 @@ func main() {
 		cfg.Timeout = *timeout
 		cfg.Retailer = retailer
 		print(bench.Ablations(cfg))
+	case "autoorder":
+		cfg := bench.DefaultAutoOrder()
+		cfg.BatchSize = *batch
+		cfg.Timeout = *timeout
+		cfg.Retailer = retailer
+		cfg.Housing = housing
+		cfg.Twitter = twitter
+		print(bench.AutoOrder(cfg)...)
+	case "explain":
+		ds := pickDataset(*dataset, retailer, housing, twitter)
+		fmt.Print(bench.ExplainReport(ds, *autoOrder))
 	case "views":
 		ds := pickDataset(*dataset, retailer, housing, twitter)
 		print(bench.ViewTreeReport(ds, nil))

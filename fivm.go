@@ -150,6 +150,45 @@ var (
 	BuildOrder = vorder.Build
 )
 
+// --- statistics and the cost-based optimizer --------------------------------
+
+// Stats is the database statistics collector the optimizer consumes:
+// per-relation cardinalities, per-variable distinct-count sketches, and
+// observed delta rates, maintained incrementally by relations and engines.
+type Stats = data.Stats
+
+// RelStats is one relation's statistics.
+type RelStats = data.RelStats
+
+// NewStats creates an empty collector.
+var NewStats = data.NewStats
+
+// AnalyzeRelation bulk-observes a relation's contents into a collector (the
+// ANALYZE path used to seed self-planning engines).
+func AnalyzeRelation[P any](st *Stats, name string, r *Relation[P]) {
+	data.ObserveRelation(st, name, r)
+}
+
+// CostModel estimates view sizes and per-update maintenance costs for
+// candidate variable orders; OrderCost is its per-order breakdown.
+type (
+	CostModel = vorder.CostModel
+	OrderCost = vorder.OrderCost
+)
+
+// NewCostModel builds a cost model from collected statistics.
+var NewCostModel = vorder.NewCostModel
+
+// OrderChooseOptions configures ChooseOrder.
+type OrderChooseOptions = vorder.ChooseOptions
+
+// ChooseOrder selects a variable order for a query with the cost-based
+// optimizer. Engines also accept a nil Order and plan for themselves —
+// EngineOptions.Stats seeds the decision, EngineOptions.CostMaterialize
+// enables cost-based materialization, and EngineOptions.AutoReoptimize adds
+// mid-stream re-planning with state migration.
+var ChooseOrder = vorder.Choose
+
 // ViewNode is one view in a view tree.
 type ViewNode = viewtree.Node
 

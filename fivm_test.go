@@ -197,3 +197,71 @@ func TestDatasetFacade(t *testing.T) {
 		t.Fatal("empty single-relation stream")
 	}
 }
+
+func TestNilOrderFacade(t *testing.T) {
+	q := fivm.MustQuery("Q", fivm.NewSchema("A"),
+		fivm.Rel("R", fivm.NewSchema("A", "B")),
+		fivm.Rel("S", fivm.NewSchema("A", "C")))
+
+	// Order: nil self-plans; results must match an engine over an explicit
+	// order.
+	auto, err := fivm.NewEngine[int64](q, nil, fivm.IntRing{}, fivm.CountLift, fivm.EngineOptions[int64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fivm.NewEngine[int64](q, fivm.MustOrder(fivm.V("A", fivm.V("B"), fivm.V("C"))),
+		fivm.IntRing{}, fivm.CountLift, fivm.EngineOptions[int64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*fivm.Engine[int64]{auto, ref} {
+		if err := e.Init(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dR := fivm.NewRelation[int64](fivm.IntRing{}, fivm.NewSchema("A", "B"))
+	dR.Merge(fivm.Ints(1, 2), 1)
+	dR.Merge(fivm.Ints(2, 2), 1)
+	dS := fivm.NewRelation[int64](fivm.IntRing{}, fivm.NewSchema("A", "C"))
+	dS.Merge(fivm.Ints(1, 7), 1)
+	for _, e := range []*fivm.Engine[int64]{auto, ref} {
+		if err := e.ApplyDelta("R", dR.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.ApplyDelta("S", dS.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := auto.Result().String(), ref.Result().String(); got != want {
+		t.Errorf("self-planned %s vs explicit %s", got, want)
+	}
+	if auto.Order() == nil {
+		t.Error("no order chosen")
+	}
+	if auto.Explain() == "" {
+		t.Error("empty explain")
+	}
+}
+
+func TestChooseOrderFacade(t *testing.T) {
+	q := fivm.MustQuery("Q", nil,
+		fivm.Rel("R", fivm.NewSchema("A", "B")),
+		fivm.Rel("S", fivm.NewSchema("B", "C")))
+	st := fivm.NewStats()
+	r := fivm.NewRelation[int64](fivm.IntRing{}, fivm.NewSchema("A", "B"))
+	for i := int64(0); i < 20; i++ {
+		r.Merge(fivm.Ints(i%5, i), 1)
+	}
+	fivm.AnalyzeRelation(st, "R", r)
+	o, err := fivm.ChooseOrder(q, fivm.OrderChooseOptions{Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(q); err != nil {
+		t.Fatal(err)
+	}
+	m := fivm.NewCostModel(q, st, nil)
+	if c := m.Cost(o).Total(); c <= 0 {
+		t.Errorf("cost = %v", c)
+	}
+}

@@ -168,6 +168,61 @@ func TestTriangleIndicatorShape(t *testing.T) {
 	}
 }
 
+func TestAutoOrderAblationShape(t *testing.T) {
+	cfg := AutoOrderConfig{
+		BatchSize: 50,
+		Timeout:   2 * time.Second,
+		Retailer:  tinyRetailer(),
+		Housing:   tinyHousing(),
+		Twitter:   tinyTwitter(),
+	}
+	tables := AutoOrder(cfg)
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 3 {
+			t.Fatalf("%s: rows = %d, want 3", tb.Title, len(tb.Rows))
+		}
+		for _, row := range tb.Rows {
+			if row[len(row)-1] != "ok" {
+				t.Errorf("%s: %s status %s", tb.Title, row[0], row[len(row)-1])
+			}
+		}
+	}
+}
+
+func TestFig7AutoOrderRuns(t *testing.T) {
+	cfg := Fig7Config{
+		Dataset:   "retailer",
+		BatchSize: 50,
+		Timeout:   2 * time.Second,
+		Retailer:  tinyRetailer(),
+		AutoOrder: true,
+	}
+	tables := Fig7(cfg)
+	views := map[string]string{}
+	for _, row := range tables[0].Rows {
+		views[row[0]] = row[1]
+	}
+	// The optimizer reproduces the paper's 9-view order on Retailer.
+	if views["F-IVM"] != "9" {
+		t.Errorf("auto-order F-IVM views = %s, want 9", views["F-IVM"])
+	}
+}
+
+func TestExplainReportRuns(t *testing.T) {
+	ds := datasets.GenTwitter(tinyTwitter())
+	for _, auto := range []bool{false, true} {
+		s := ExplainReport(ds, auto)
+		for _, frag := range []string{"order:", "width:", "estimated cost:", "views"} {
+			if !strings.Contains(s, frag) {
+				t.Errorf("explain(auto=%v) missing %q:\n%s", auto, frag, s)
+			}
+		}
+	}
+}
+
 func TestTableFormat(t *testing.T) {
 	tb := &Table{Title: "T", Note: "n", Header: []string{"a", "bb"}}
 	tb.AddRow("x", 42)

@@ -112,6 +112,10 @@ func sumLift(target string) data.LiftFunc[float64] {
 type cofactorStrategies struct {
 	q    query.Query
 	vars data.Schema
+	// stats, when set, is cloned into every engine built with a nil order so
+	// it can self-plan from dataset statistics (the -auto-order path). Each
+	// engine gets its own clone: collectors are single-owner.
+	stats *data.Stats
 }
 
 func newCofactorStrategies(q query.Query) cofactorStrategies {
@@ -123,6 +127,7 @@ func (c cofactorStrategies) FIVM(o *vorder.Order, updatable []string) (ivm.Maint
 	return ivm.New[ring.Triple](c.q, o, ring.Cofactor{}, tripleLift(c.vars), ivm.Options[ring.Triple]{
 		Updatable:     updatable,
 		ComposeChains: true,
+		Stats:         c.stats.Clone(),
 	})
 }
 
@@ -131,6 +136,7 @@ func (c cofactorStrategies) SQLOPT(o *vorder.Order, updatable []string) (ivm.Mai
 	return ivm.New[ring.DegMap](c.q, o, ring.DegreeMap{}, degMapLift(c.vars), ivm.Options[ring.DegMap]{
 		Updatable:     updatable,
 		ComposeChains: true,
+		Stats:         c.stats.Clone(),
 	})
 }
 
@@ -149,6 +155,23 @@ func (c cofactorStrategies) FirstOrderScalar(o *vorder.Order) (*ivm.MultiFirstOr
 	return ivm.NewMultiFirstOrder(c.q, o, ivm.CofactorAggSpecs(c.vars))
 }
 
+// analyze seeds a statistics collector from a dataset's generated contents
+// (cardinalities, per-column distinct sketches) plus uniform delta-rate
+// observations matching the round-robin stream synthesis — the ANALYZE pass
+// the self-planning engines consume.
+func analyze(ds *datasets.Dataset) *data.Stats {
+	st := data.NewStats()
+	for rel, ts := range ds.Tuples {
+		rd, _ := ds.Query.Rel(rel)
+		rs := st.Rel(rel, rd.Schema)
+		for _, t := range ts {
+			rs.ObserveInsert(t)
+		}
+		rs.DeltaTuples = int64(len(ts))
+	}
+	return st
+}
+
 // parallelize wraps a maintainer factory in a sharded parallel maintainer
 // over the given worker count; workers <= 1 returns the plain maintainer.
 // The caller should closeMaintainer the result after its run to stop the
@@ -158,6 +181,18 @@ func parallelize[P any](q query.Query, r ring.Ring[P], workers int, factory func
 		return factory()
 	}
 	return ivm.NewParallel[P](q, r, workers, factory)
+}
+
+// attachRouterStats hooks the ANALYZE collector into a parallel
+// maintainer's routing path, so the collector's delta rates stay current
+// across the run (no-op for sequential maintainers or absent stats).
+func attachRouterStats[P any](m ivm.Maintainer[P], st *data.Stats) {
+	if st == nil {
+		return
+	}
+	if p, ok := m.(*ivm.Parallel[P]); ok {
+		p.CollectStats(st)
+	}
 }
 
 // closeMaintainer stops a parallel maintainer's worker pool; plain

@@ -8,6 +8,7 @@ import (
 	"fivm/internal/ivm"
 	"fivm/internal/ring"
 	"fivm/internal/viewtree"
+	"fivm/internal/vorder"
 )
 
 // Fig13Config scales the triangle-query cofactor experiment (Figure 13).
@@ -19,6 +20,9 @@ type Fig13Config struct {
 	// third relation broadcast.
 	Workers int
 	Twitter datasets.TwitterConfig
+	// AutoOrder replaces the handpicked A-B-C order with an
+	// optimizer-chosen one (engines self-plan from dataset statistics).
+	AutoOrder bool
 }
 
 // DefaultFig13 is a laptop-scale configuration.
@@ -39,6 +43,11 @@ func DefaultFig13() Fig13Config {
 func Fig13(cfg Fig13Config) []*Table {
 	ds := datasets.GenTwitter(cfg.Twitter)
 	cs := newCofactorStrategies(ds.Query)
+	ord := ds.NewOrder
+	if cfg.AutoOrder {
+		cs.stats = analyze(ds)
+		ord = func() *vorder.Order { return nil }
+	}
 	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
 	oneStream := datasets.SingleRelationStream(ds, "R", cfg.BatchSize)
 	opts := RunOptions{Timeout: cfg.Timeout, Workers: cfg.Workers}
@@ -47,8 +56,9 @@ func Fig13(cfg Fig13Config) []*Table {
 
 	{
 		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
-			func() (ivm.Maintainer[ring.Triple], error) { return cs.FIVM(ds.NewOrder(), nil) })
+			func() (ivm.Maintainer[ring.Triple], error) { return cs.FIVM(ord(), nil) })
 		must(err)
+		attachRouterStats(m, cs.stats)
 		must(m.Init())
 		results = append(results, RunStream("F-IVM", Adapt(m, tripleDelta(ds.Query)), stream, opts))
 		closeMaintainer(m)
@@ -68,19 +78,23 @@ func Fig13(cfg Fig13Config) []*Table {
 		results = append(results, RunStream("DBT", Adapt[float64](m, floatDelta(ds.Query)), stream, opts))
 	}
 	{
-		m, err := cs.FirstOrderScalar(ds.NewOrder())
+		m, err := cs.FirstOrderScalar(ord())
 		must(err)
 		must(m.Init())
 		results = append(results, RunStream("1-IVM", Adapt[float64](m, floatDelta(ds.Query)), stream, opts))
 	}
 	{
-		m, err := cs.FIVM(ds.NewOrder(), []string{"R"})
+		m, err := cs.FIVM(ord(), []string{"R"})
 		must(err)
 		must(preload(m, ds, tripleDelta(ds.Query), map[string]bool{"R": true}))
 		results = append(results, RunStream("F-IVM ONE", Adapt(m, tripleDelta(ds.Query)), oneStream, opts))
 	}
 
-	return fig7Tables(workersTitle("Figure 13: cofactor over the triangle query (Twitter)", opts), results)
+	title := "Figure 13: cofactor over the triangle query (Twitter)"
+	if cfg.AutoOrder {
+		title += ", auto-order"
+	}
+	return fig7Tables(workersTitle(title, opts), results)
 }
 
 // TriangleIndicator demonstrates Appendix B: the indicator projection

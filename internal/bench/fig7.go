@@ -7,6 +7,7 @@ import (
 	"fivm/internal/datasets"
 	"fivm/internal/ivm"
 	"fivm/internal/ring"
+	"fivm/internal/vorder"
 )
 
 // Fig7Config scales the cofactor maintenance experiments (Figure 7).
@@ -29,6 +30,10 @@ type Fig7Config struct {
 	// IncludeScalar adds the per-aggregate DBT and 1-IVM competitors
 	// (very slow by design — that is the result).
 	IncludeScalar bool
+	// AutoOrder replaces the handpicked variable orders with
+	// optimizer-chosen ones: engines receive a nil order plus dataset
+	// statistics and self-plan (the -auto-order CLI flag).
+	AutoOrder bool
 }
 
 // DefaultFig7 is a laptop-scale configuration.
@@ -60,6 +65,11 @@ func fig7Dataset(cfg Fig7Config) *datasets.Dataset {
 func Fig7(cfg Fig7Config) []*Table {
 	ds := fig7Dataset(cfg)
 	cs := newCofactorStrategies(ds.Query)
+	ord := ds.NewOrder
+	if cfg.AutoOrder {
+		cs.stats = analyze(ds)
+		ord = func() *vorder.Order { return nil }
+	}
 	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
 	oneStream := datasets.SingleRelationStream(ds, ds.Largest, cfg.BatchSize)
 	opts := RunOptions{Timeout: cfg.Timeout, Group: cfg.Group, Workers: cfg.Workers}
@@ -72,10 +82,11 @@ func Fig7(cfg Fig7Config) []*Table {
 	// F-IVM: one view tree, cofactor-ring payloads.
 	{
 		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
-			func() (ivm.Maintainer[ring.Triple], error) { return cs.FIVM(ds.NewOrder(), nil) })
+			func() (ivm.Maintainer[ring.Triple], error) { return cs.FIVM(ord(), nil) })
 		if err != nil {
 			panic(err)
 		}
+		attachRouterStats(m, cs.stats)
 		must(m.Init())
 		run("F-IVM", Adapt(m, tripleDelta(ds.Query)), stream)
 		closeMaintainer(m)
@@ -83,7 +94,7 @@ func Fig7(cfg Fig7Config) []*Table {
 	// SQL-OPT: same views, degree-indexed aggregate encoding.
 	{
 		m, err := parallelize[ring.DegMap](ds.Query, ring.DegreeMap{}, cfg.Workers,
-			func() (ivm.Maintainer[ring.DegMap], error) { return cs.SQLOPT(ds.NewOrder(), nil) })
+			func() (ivm.Maintainer[ring.DegMap], error) { return cs.SQLOPT(ord(), nil) })
 		if err != nil {
 			panic(err)
 		}
@@ -115,7 +126,7 @@ func Fig7(cfg Fig7Config) []*Table {
 
 		// 1-IVM: one delta query per aggregate per update.
 		fo, err := parallelize[float64](ds.Query, ring.Float{}, cfg.Workers,
-			func() (ivm.Maintainer[float64], error) { return cs.FirstOrderScalar(ds.NewOrder()) })
+			func() (ivm.Maintainer[float64], error) { return cs.FirstOrderScalar(ord()) })
 		if err != nil {
 			panic(err)
 		}
@@ -127,7 +138,7 @@ func Fig7(cfg Fig7Config) []*Table {
 	skip := map[string]bool{ds.Largest: true}
 	{
 		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
-			func() (ivm.Maintainer[ring.Triple], error) { return cs.FIVM(ds.NewOrder(), []string{ds.Largest}) })
+			func() (ivm.Maintainer[ring.Triple], error) { return cs.FIVM(ord(), []string{ds.Largest}) })
 		if err != nil {
 			panic(err)
 		}
@@ -137,7 +148,7 @@ func Fig7(cfg Fig7Config) []*Table {
 	}
 	{
 		m, err := parallelize[ring.DegMap](ds.Query, ring.DegreeMap{}, cfg.Workers,
-			func() (ivm.Maintainer[ring.DegMap], error) { return cs.SQLOPT(ds.NewOrder(), []string{ds.Largest}) })
+			func() (ivm.Maintainer[ring.DegMap], error) { return cs.SQLOPT(ord(), []string{ds.Largest}) })
 		if err != nil {
 			panic(err)
 		}
@@ -157,6 +168,9 @@ func Fig7(cfg Fig7Config) []*Table {
 	}
 
 	title := fmt.Sprintf("Figure 7: cofactor maintenance, %s, batches of %d", ds.Name, cfg.BatchSize)
+	if cfg.AutoOrder {
+		title += ", auto-order"
+	}
 	return fig7Tables(workersTitle(title, opts), results)
 }
 

@@ -130,7 +130,7 @@ func (ir *IndexedRelation[P]) mergeProjectedIndexed(proj Projector, t Tuple, p P
 			}
 		}
 		if zero {
-			delete(ir.entries, en.key)
+			ir.removeEntry(en.key)
 			for _, ix := range ir.indexes {
 				ix.Remove(en)
 			}
@@ -143,6 +143,7 @@ func (ir *IndexedRelation[P]) mergeProjectedIndexed(proj Projector, t Tuple, p P
 	key := string(ir.keyBuf)
 	en = &Entry[P]{key: key, Tuple: proj.Apply(t), Payload: ir.owned(p)}
 	ir.entries[key] = en
+	ir.noteInsert(en.Tuple)
 	for _, ix := range ir.indexes {
 		ix.Add(en)
 	}

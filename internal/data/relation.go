@@ -50,6 +50,9 @@ type Relation[P any] struct {
 	// source tuple instead of fresh copies; see ShareProjectedTuples.
 	shareProjected bool
 	free           []*Entry[P]
+	// stats, when non-nil, receives every insert/delete transition; see
+	// CollectStats.
+	stats *RelStats
 }
 
 // NewRelation creates an empty relation over the given ring and schema.
@@ -105,6 +108,9 @@ func (r *Relation[P]) Clear() {
 			r.free = append(r.free, e)
 		}
 	}
+	if r.stats != nil {
+		r.stats.Live -= len(r.entries)
+	}
 	clear(r.entries)
 }
 
@@ -124,6 +130,34 @@ func (r *Relation[P]) projApply(proj Projector, t Tuple) Tuple {
 	return proj.Apply(t)
 }
 
+// CollectStats attaches a statistics collector: from now on every insert
+// transition (key appearing with non-zero payload) and delete transition
+// (payload cancelling to zero) is reported to rs, keeping its cardinality
+// exact and its per-column sketches current. Existing contents are not
+// re-counted — seed rs first (ObserveRelation) when attaching to a populated
+// relation. The overhead is one nil check on unhooked relations and one
+// counter-plus-sketch update per transition otherwise. Pass nil to detach.
+func (r *Relation[P]) CollectStats(rs *RelStats) {
+	r.stats = rs
+	if rs != nil {
+		rs.exact = true
+	}
+}
+
+// noteInsert and noteDelete report presence transitions to the attached
+// statistics collector, if any.
+func (r *Relation[P]) noteInsert(t Tuple) {
+	if r.stats != nil {
+		r.stats.ObserveInsert(t)
+	}
+}
+
+func (r *Relation[P]) noteDelete() {
+	if r.stats != nil {
+		r.stats.ObserveDelete()
+	}
+}
+
 // RecycleCleared makes Clear feed removed entries into a freelist that
 // fresh stores pop from, reusing the Entry struct and (for rings with
 // in-place accumulation) its payload storage. Safe only for relations whose
@@ -131,6 +165,13 @@ func (r *Relation[P]) projApply(proj Projector, t Tuple) Tuple {
 // across a Clear — the delta-propagation scratch relations qualify: views
 // copy what they keep. Stored tuples are never reused.
 func (r *Relation[P]) RecycleCleared() { r.recycle = true }
+
+// removeEntry deletes an entry's key and reports the transition to the
+// statistics collector.
+func (r *Relation[P]) removeEntry(key string) {
+	delete(r.entries, key)
+	r.noteDelete()
+}
 
 // insertEntry stores a fresh entry under key (which must be absent),
 // reusing a recycled entry when available. The caller must set Payload
@@ -147,6 +188,7 @@ func (r *Relation[P]) insertEntry(key string, t Tuple) *Entry[P] {
 		e = &Entry[P]{key: key, Tuple: t}
 	}
 	r.entries[key] = e
+	r.noteInsert(t)
 	return e
 }
 
@@ -215,7 +257,7 @@ func (r *Relation[P]) ContainsKey(key string) bool {
 func (r *Relation[P]) Set(t Tuple, p P) {
 	if e := r.lookup(t); e != nil {
 		if r.ring.IsZero(p) {
-			delete(r.entries, e.key)
+			r.removeEntry(e.key)
 			return
 		}
 		if r.mut != nil {
@@ -250,14 +292,14 @@ func (r *Relation[P]) mergeEntry(t Tuple, p P) (en *Entry[P], existed, exists bo
 		if r.mut != nil {
 			r.mut.AddInto(&e.Payload, p)
 			if r.ring.IsZero(e.Payload) {
-				delete(r.entries, e.key)
+				r.removeEntry(e.key)
 				return e, true, false
 			}
 			return e, true, true
 		}
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
-			delete(r.entries, e.key)
+			r.removeEntry(e.key)
 			return e, true, false
 		}
 		e.Payload = s
@@ -297,13 +339,13 @@ func (r *Relation[P]) MergeProjected(proj Projector, t Tuple, p P) {
 		if r.mut != nil {
 			r.mut.AddInto(&e.Payload, p)
 			if r.ring.IsZero(e.Payload) {
-				delete(r.entries, e.key)
+				r.removeEntry(e.key)
 			}
 			return
 		}
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
-			delete(r.entries, e.key)
+			r.removeEntry(e.key)
 			return
 		}
 		e.Payload = s
@@ -328,7 +370,7 @@ func (r *Relation[P]) MergeMul(t Tuple, a, b *P) {
 	if e := r.lookup(t); e != nil {
 		r.mut.MulAddInto(&e.Payload, a, b)
 		if r.ring.IsZero(e.Payload) {
-			delete(r.entries, e.key)
+			r.removeEntry(e.key)
 		}
 		return
 	}
@@ -343,7 +385,7 @@ func (r *Relation[P]) MergeMul(t Tuple, a, b *P) {
 // dropFresh removes an entry that was just inserted but whose payload
 // turned out zero, returning it to the freelist when recycling.
 func (r *Relation[P]) dropFresh(e *Entry[P]) {
-	delete(r.entries, e.key)
+	r.removeEntry(e.key)
 	if r.recycle {
 		e.Tuple = nil
 		r.free = append(r.free, e)
@@ -364,7 +406,7 @@ func (r *Relation[P]) MergeMulProjected(proj Projector, t Tuple, a, b *P) {
 	if e, ok := r.entries[string(r.keyBuf)]; ok {
 		r.mut.MulAddInto(&e.Payload, a, b)
 		if r.ring.IsZero(e.Payload) {
-			delete(r.entries, e.key)
+			r.removeEntry(e.key)
 		}
 		return
 	}
@@ -382,13 +424,13 @@ func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
 		if r.mut != nil {
 			r.mut.AddInto(&e.Payload, p)
 			if r.ring.IsZero(e.Payload) {
-				delete(r.entries, key)
+				r.removeEntry(key)
 			}
 			return
 		}
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
-			delete(r.entries, key)
+			r.removeEntry(key)
 			return
 		}
 		e.Payload = s

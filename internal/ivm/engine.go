@@ -59,6 +59,31 @@ type Options[P any] struct {
 	// representation uses it to project relational payloads onto each
 	// view's own variable. It must be linear: f(a+b) = f(a)+f(b).
 	PayloadTransform func(n *viewtree.Node, p P) P
+
+	// Stats supplies pre-collected statistics (the ANALYZE path) for
+	// self-planning and the cost policies. When nil and an optimizer feature
+	// is in use, the engine owns a fresh collector, seeds it from loaded
+	// relations at Init, and keeps it current from the update stream.
+	Stats *data.Stats
+	// CostMaterialize replaces the structural materialization rule with the
+	// cost-based policy: a probed view whose estimated footprint and merge
+	// traffic exceed the cost of probing its children inline is not stored
+	// (viewtree.CostMaterialize). Ignored when MaterializeAll or a payload
+	// transform demands the full hierarchy.
+	CostMaterialize bool
+	// AutoReoptimize enables adaptive re-optimization: when observed
+	// statistics drift past the thresholds mid-stream, the engine re-plans
+	// and migrates, rebuilding only views whose definitions changed and
+	// reusing matching materialized relations. It forces every leaf to be
+	// materialized (migration rebuilds from leaf contents) and is
+	// incompatible with Indicators and PayloadTransform.
+	AutoReoptimize bool
+	// ReoptEvery is the drift-check cadence in ApplyDelta calls (default 64).
+	ReoptEvery int
+	// DriftFactor is the per-relation cardinality growth/shrink factor that
+	// triggers a re-plan check (default 2; delta-rate share shifts of 0.2
+	// also trigger).
+	DriftFactor float64
 }
 
 // Engine is the F-IVM maintainer: one view tree for all relations, with
@@ -71,7 +96,9 @@ type Engine[P any] struct {
 	opts Options[P]
 
 	root      *viewtree.Node
+	order     *vorder.Order
 	updatable map[string]bool
+	updList   []string
 	mat       map[*viewtree.Node]bool
 	views     map[*viewtree.Node]*data.IndexedRelation[P]
 	plans     map[*viewtree.Node]*deltaPlan[P]
@@ -81,33 +108,32 @@ type Engine[P any] struct {
 
 	bases map[string]*data.Relation[P] // initial contents, dropped after Init
 	ready bool
+
+	// optimizer state
+	stats        *data.Stats
+	ownStats     bool          // stats created (and seeded) by the engine, not the caller
+	pendingPlan  bool          // planning deferred to Init, after loaded data seeds the stats
+	pendingOrder *vorder.Order // explicit order awaiting deferred planning (nil: choose)
+	planSnap     data.StatsSnapshot
+	ticks        int
+	replans      int
 }
 
-// New builds an F-IVM engine for the query over the given prepared variable
-// order.
+// New builds an F-IVM engine for the query over the given variable order.
+//
+// The order may be nil: the engine then plans for itself with the
+// cost-based optimizer (vorder.Choose). With opts.Stats set, planning
+// happens immediately; otherwise it is deferred to Init, after the loaded
+// relations have seeded the engine's own statistics collector (an engine
+// that starts empty plans from structural defaults and can later correct
+// itself via AutoReoptimize).
 func New[P any](q query.Query, o *vorder.Order, r ring.Ring[P], lift data.LiftFunc[P], opts Options[P]) (*Engine[P], error) {
-	if err := o.Prepare(q); err != nil {
-		return nil, err
-	}
-	root, err := viewtree.Build(o, q)
-	if err != nil {
-		return nil, err
-	}
-	root = viewtree.CollapseIdentical(root)
-	if opts.ComposeChains {
-		root = viewtree.ComposeChains(root)
-	}
 	e := &Engine[P]{
 		q:         q,
 		ring:      r,
 		lift:      lift,
 		opts:      opts,
-		root:      root,
 		updatable: make(map[string]bool),
-		views:     make(map[*viewtree.Node]*data.IndexedRelation[P]),
-		plans:     make(map[*viewtree.Node]*deltaPlan[P]),
-		indLeaves: make(map[string][]*viewtree.Node),
-		trackers:  make(map[*viewtree.Node]*viewtree.IndicatorTracker),
 		bases:     make(map[string]*data.Relation[P]),
 	}
 	upd := opts.Updatable
@@ -120,11 +146,73 @@ func New[P any](q query.Query, o *vorder.Order, r ring.Ring[P], lift data.LiftFu
 		}
 		e.updatable[name] = true
 	}
+	e.updList = upd
 
-	if opts.Indicators {
-		for _, leaf := range viewtree.AddIndicators(root, q) {
+	if opts.AutoReoptimize && (opts.Indicators || opts.PayloadTransform != nil) {
+		return nil, fmt.Errorf("ivm: AutoReoptimize is incompatible with Indicators and PayloadTransform")
+	}
+	e.stats = opts.Stats
+	if e.stats == nil && (o == nil || opts.AutoReoptimize || opts.CostMaterialize) {
+		e.stats = data.NewStats()
+		e.ownStats = true
+	}
+	if opts.Stats == nil && (o == nil || opts.CostMaterialize) {
+		// The engine-owned collector is still empty: defer planning to Init
+		// so order choice and the cost-based materialization decision see
+		// the loaded data instead of structural defaults.
+		e.pendingOrder = o
+		e.pendingPlan = true
+		return e, nil
+	}
+	if o == nil {
+		var err error
+		if o, err = e.chooseOrder(); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.plan(o); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// costModel builds the cost model over the engine's current statistics.
+func (e *Engine[P]) costModel() *vorder.CostModel {
+	return vorder.NewCostModel(e.q, e.stats, e.updList)
+}
+
+// chooseOrder runs the optimizer over the current statistics.
+func (e *Engine[P]) chooseOrder() (*vorder.Order, error) {
+	return vorder.Choose(e.q, vorder.ChooseOptions{Model: e.costModel()})
+}
+
+// plan compiles the engine's static machinery for a prepared-or-fresh
+// variable order: the view tree, indicator extensions, the materialization
+// decision, and one delta plan per updatable leaf. Any previous machinery is
+// discarded (replan rebuilds the view contents afterwards).
+func (e *Engine[P]) plan(o *vorder.Order) error {
+	if err := o.Prepare(e.q); err != nil {
+		return err
+	}
+	root, err := viewtree.Build(o, e.q)
+	if err != nil {
+		return err
+	}
+	root = viewtree.CollapseIdentical(root)
+	if e.opts.ComposeChains {
+		root = viewtree.ComposeChains(root)
+	}
+	e.order = o
+	e.root = root
+	e.views = make(map[*viewtree.Node]*data.IndexedRelation[P])
+	e.plans = make(map[*viewtree.Node]*deltaPlan[P])
+	e.indLeaves = make(map[string][]*viewtree.Node)
+	e.trackers = make(map[*viewtree.Node]*viewtree.IndicatorTracker)
+
+	if e.opts.Indicators {
+		for _, leaf := range viewtree.AddIndicators(root, e.q) {
 			e.indLeaves[leaf.Rel] = append(e.indLeaves[leaf.Rel], leaf)
-			rd, _ := q.Rel(leaf.Rel)
+			rd, _ := e.q.Rel(leaf.Rel)
 			e.trackers[leaf] = viewtree.NewIndicatorTracker(rd.Schema, leaf.Keys)
 		}
 	}
@@ -137,11 +225,11 @@ func New[P any](q query.Query, o *vorder.Order, r ring.Ring[P], lift data.LiftFu
 		}
 		plan, err := e.buildPlan(leaf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.plans[leaf] = plan
 	}
-	return e, nil
+	return nil
 }
 
 // materialization generalizes Figure 5 to trees with indicator leaves: a
@@ -195,6 +283,21 @@ func (e *Engine[P]) materialization() map[*viewtree.Node]bool {
 			mat[leaf] = true
 		}
 	}
+	// Adaptive engines keep every leaf: migration rebuilds changed views
+	// bottom-up from leaf contents.
+	if e.opts.AutoReoptimize {
+		for _, leaf := range e.root.Leaves() {
+			if !leaf.Indicator {
+				mat[leaf] = true
+			}
+		}
+	}
+	// Cost-based refinement: demote probed views whose storage costs more
+	// than inline computation from their children (delta plans expand such
+	// siblings in place). The full-hierarchy modes must keep every view.
+	if e.opts.CostMaterialize && !e.opts.MaterializeAll && e.opts.PayloadTransform == nil && e.stats != nil {
+		mat = viewtree.CostMaterialize(e.root, mat, e.updatable, e.costModel())
+	}
 	return mat
 }
 
@@ -228,8 +331,37 @@ func (e *Engine[P]) Load(rel string, r *data.Relation[P]) error {
 
 // Init evaluates all materialized views bottom-up from the loaded
 // relations (missing relations are empty) and registers the secondary
-// indexes that delta propagation will probe.
+// indexes that delta propagation will probe. An engine constructed with a
+// nil order and no pre-collected statistics plans here, after seeding its
+// collector from the loaded contents.
 func (e *Engine[P]) Init() error {
+	if e.ownStats {
+		// Seed the engine-owned collector from the loaded contents, in each
+		// relation's canonical column order so sketches line up with the
+		// leaf views that keep them current afterwards.
+		for rel, base := range e.bases {
+			rd, _ := e.q.Rel(rel)
+			if !base.Schema().Equal(rd.Schema) {
+				base = data.Project(base, rd.Schema)
+			}
+			data.ObserveRelation(e.stats, rel, base)
+		}
+	}
+	if e.pendingPlan {
+		o := e.pendingOrder
+		if o == nil {
+			var err error
+			if o, err = e.chooseOrder(); err != nil {
+				return err
+			}
+		}
+		if err := e.plan(o); err != nil {
+			return err
+		}
+		e.pendingPlan = false
+		e.pendingOrder = nil
+	}
+
 	var build func(n *viewtree.Node) *data.Relation[P]
 	build = func(n *viewtree.Node) *data.Relation[P] {
 		rel := e.evalFromChildren(n, build)
@@ -260,9 +392,30 @@ func (e *Engine[P]) Init() error {
 	for _, plan := range e.plans {
 		plan.registerIndexes(e)
 	}
+	e.attachLeafStats()
+	if e.stats != nil {
+		e.planSnap = e.stats.Snapshot()
+	}
 	e.bases = nil
 	e.ready = true
 	return nil
+}
+
+// attachLeafStats hooks the statistics collector into every stored leaf
+// relation, so cardinality transitions and value sketches stay exact on the
+// merge path at one nil-check of overhead.
+func (e *Engine[P]) attachLeafStats() {
+	if e.stats == nil {
+		return
+	}
+	for _, leaf := range e.root.Leaves() {
+		if leaf.Indicator {
+			continue
+		}
+		if v := e.views[leaf]; v != nil {
+			v.CollectStats(e.stats.Rel(leaf.Rel, leaf.Keys))
+		}
+	}
 }
 
 // evalFromChildren computes a view's contents from its children via the
@@ -395,6 +548,12 @@ func (e *Engine[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
 	// against the pre-merge leaf view when the leaf is stored).
 	indDeltas := e.indicatorDeltas(rel, delta)
 
+	if e.stats != nil {
+		// Update-rate signal (and, for unstored leaves, approximate
+		// cardinality): stored leaves report exact transitions themselves.
+		data.ObserveDeltaRelation(e.stats, rel, leaf.Keys, delta)
+	}
+
 	if err := plan.run(e, delta); err != nil {
 		return err
 	}
@@ -402,6 +561,9 @@ func (e *Engine[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
 		if err := id.plan.run(e, id.delta); err != nil {
 			return err
 		}
+	}
+	if e.opts.AutoReoptimize {
+		return e.maybeReoptimize()
 	}
 	return nil
 }

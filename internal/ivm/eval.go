@@ -64,6 +64,14 @@ func evalTreeSubst[P any](root *viewtree.Node, q query.Query, r ring.Ring[P], li
 // buildTree prepares a variable order and constructs the collapsed view
 // tree for a query; shared by strategy constructors.
 func buildTree(q query.Query, o *vorder.Order, compose bool) (*viewtree.Node, error) {
+	if o == nil {
+		// Self-plan: no statistics are available at this layer, so the
+		// optimizer ranks candidates structurally (see vorder.Choose).
+		var err error
+		if o, err = vorder.Choose(q, vorder.ChooseOptions{}); err != nil {
+			return nil, err
+		}
+	}
 	if err := o.Prepare(q); err != nil {
 		return nil, err
 	}

@@ -52,6 +52,40 @@ type Parallel[P any] struct {
 	batches [][]NamedDelta[P]
 	errs    []error
 	one     []NamedDelta[P]
+
+	// stats, when attached via CollectStats, observes the routing path:
+	// partitioned deltas through the Sharded routing relations, broadcast
+	// deltas directly. Router-owned (same goroutine as ApplyDeltas).
+	stats *data.Stats
+}
+
+// CollectStats attaches a statistics collector to the router: every delta
+// tuple routed through the maintainer is observed (update rates and value
+// sketches) before it is dispatched, via Sharded.CollectStats for
+// partitioned relations. The per-shard inner maintainers keep their own
+// collectors; this one sees the undivided stream and is what ANALYZE-seeded
+// benchmark collectors pass to keep delta rates current. Must be called
+// from the goroutine that applies deltas.
+func (p *Parallel[P]) CollectStats(st *data.Stats) {
+	p.stats = st
+	for rel, route := range p.routes {
+		p.attachRouteStats(rel, route)
+	}
+}
+
+// attachRouteStats hooks the collector into one routing relation, provided
+// the collector's column order matches (a relation re-registered under a
+// permuted schema keeps its first registration; mismatched sketches would
+// misalign).
+func (p *Parallel[P]) attachRouteStats(rel string, route *data.Sharded[P]) {
+	if p.stats == nil {
+		return
+	}
+	sch := route.Shard(0).Schema()
+	rs := p.stats.Rel(rel, sch)
+	if rs.Schema.Equal(sch) {
+		route.CollectStats(rs)
+	}
 }
 
 // pickShardVar returns the query variable contained in the most relation
@@ -242,6 +276,9 @@ func (p *Parallel[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 			continue
 		}
 		if !nd.Delta.Schema().Contains(p.shardVar) {
+			if p.stats != nil {
+				data.ObserveDeltaRelation(p.stats, nd.Rel, nd.Delta.Schema(), nd.Delta)
+			}
 			for s := range p.batches {
 				p.batches[s] = append(p.batches[s], nd)
 			}
@@ -267,6 +304,7 @@ func (p *Parallel[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 				if err != nil {
 					return err
 				}
+				p.attachRouteStats(nd.Rel, route)
 				p.routes[nd.Rel] = route
 			}
 			p.order = append(p.order, nd.Rel)

@@ -92,12 +92,28 @@ func (e *Engine[P]) buildPlan(leaf *viewtree.Node) (*deltaPlan[P], error) {
 		st := &planStep[P]{node: node}
 		acc := cur.Keys.Clone()
 
-		// Order siblings greedily by overlap with the accumulated schema,
-		// so each probe binds as many sibling variables as possible.
+		// Collect the sibling views to join with. A sibling the
+		// materialization policy chose not to store (cost-demoted) is
+		// expanded in place: its children are probed instead, and its
+		// marginalized variables join this step's lift-and-marginalize set —
+		// V = ⊕_{V.Marg}(⨝ children) substituted into the step's join, which
+		// is exact because lifting products commute across the join.
 		var sibs []*viewtree.Node
+		var inlineMarg data.Schema
+		var expand func(s *viewtree.Node)
+		expand = func(s *viewtree.Node) {
+			if s.IsLeaf() || e.mat[s] {
+				sibs = append(sibs, s)
+				return
+			}
+			inlineMarg = append(inlineMarg, s.Marg...)
+			for _, c := range s.Children {
+				expand(c)
+			}
+		}
 		for _, c := range node.Children {
 			if c != cur {
-				sibs = append(sibs, c)
+				expand(c)
 			}
 		}
 		for len(sibs) > 0 {
@@ -123,7 +139,11 @@ func (e *Engine[P]) buildPlan(leaf *viewtree.Node) (*deltaPlan[P], error) {
 			acc = acc.Union(ps.extra)
 		}
 		st.accSchema = acc
-		for _, mv := range node.Marg {
+		allMarg := node.Marg
+		if len(inlineMarg) > 0 {
+			allMarg = append(node.Marg.Clone(), inlineMarg...)
+		}
+		for _, mv := range allMarg {
 			i := acc.IndexOf(mv)
 			if i < 0 {
 				return nil, fmt.Errorf("ivm: marginalized variable %q missing from join schema %v at %s", mv, acc, node.Name())
@@ -131,7 +151,7 @@ func (e *Engine[P]) buildPlan(leaf *viewtree.Node) (*deltaPlan[P], error) {
 			st.margVars = append(st.margVars, margVar{name: mv, idx: i})
 		}
 		if len(st.margVars) > 0 {
-			st.margProj = data.MustProjector(acc, acc.Intersect(node.Marg))
+			st.margProj = data.MustProjector(acc, acc.Intersect(allMarg))
 			st.liftCache = make(map[string]*P)
 		}
 		st.allFullSibs = true

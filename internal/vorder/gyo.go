@@ -18,12 +18,34 @@ type Hyperedge struct {
 // in exactly one edge) and edges contained in other edges. It returns the
 // residual edges — the cyclic core. An empty residue means the hypergraph is
 // α-acyclic. The paper's indicator-projection algorithm (Figure 10) uses the
-// residue to decide which relations participate in a cycle at a view.
+// residue to decide which relations participate in a cycle at a view; the
+// order enumerator uses the same ear/join-variable distinction to pick its
+// branch candidates.
+//
+// Edge cases, pinned by tests:
+//
+//   - Duplicate variables within one hyperedge are deduplicated before the
+//     reduction (a set semantics; data.Schema invariants normally rule them
+//     out, but hand-built edges may carry them). Without deduplication a
+//     variable repeated inside a single edge would count as "shared" and
+//     incorrectly survive ear removal.
+//   - A single-edge hypergraph is always α-acyclic: every variable is an
+//     ear, the emptied edge is then removed, and the residue is empty.
+//   - A fully cyclic core (triangle, chordless cycles) has no ears at all:
+//     the reduction leaves every edge untouched and returns them all,
+//     sorted by name.
 func GYO(edges []Hyperedge) []Hyperedge {
-	// Work on copies so callers' edges are untouched.
+	// Work on deduplicated copies so callers' edges are untouched and
+	// within-edge duplicates cannot masquerade as shared variables.
 	work := make([]Hyperedge, len(edges))
 	for i, e := range edges {
-		work[i] = Hyperedge{Name: e.Name, Vars: e.Vars.Clone()}
+		var vars data.Schema
+		for _, v := range e.Vars {
+			if !vars.Contains(v) {
+				vars = append(vars, v)
+			}
+		}
+		work[i] = Hyperedge{Name: e.Name, Vars: vars}
 	}
 	alive := make([]bool, len(work))
 	for i := range alive {
