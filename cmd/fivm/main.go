@@ -60,6 +60,7 @@ func main() {
 	batch := fs.Int("batch", 1000, "update batch size")
 	group := fs.Int("group", 1, "stream batches applied per batched ApplyDeltas call")
 	workers := fs.Int("workers", 1, "shard/worker count for parallel maintenance (fig7, fig13)")
+	readers := fs.Int("readers", 0, "concurrent snapshot-reader goroutines served while maintenance streams (fig7, fig13)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-strategy timeout (the paper's 1h limit, scaled)")
 	scale := fs.Int("scale", 1, "dataset scale multiplier")
 	noScalar := fs.Bool("no-scalar", false, "skip the per-aggregate scalar competitors (DBT, 1-IVM)")
@@ -85,6 +86,7 @@ func main() {
 		cfg.Timeout = *timeout
 		cfg.Group = *group
 		cfg.Workers = *workers
+		cfg.Readers = *readers
 		cfg.Retailer = retailer
 		cfg.Housing = housing
 		cfg.IncludeScalar = !*noScalar
@@ -137,6 +139,7 @@ func main() {
 		cfg.BatchSize = *batch
 		cfg.Timeout = *timeout
 		cfg.Workers = *workers
+		cfg.Readers = *readers
 		cfg.Twitter = twitter
 		cfg.AutoOrder = *autoOrder
 		print(bench.Fig13(cfg)...)

@@ -56,15 +56,19 @@ func main() {
 		}
 	}
 
+	// Pin one epoch of each representation: all counting and enumeration
+	// below reads that consistent snapshot (safe even if another goroutine
+	// kept streaming updates).
+	factSnap, listSnap := fact.Snapshot(), list.Snapshot()
 	fmt.Printf("result tuples:      %d (both representations agree: %v)\n",
-		fact.Count(), fact.Count() == list.Count())
+		factSnap.Count(), factSnap.Count() == listSnap.Count())
 	fmt.Printf("listing memory:     ~%d KiB\n", list.MemoryBytes()/1024)
 	fmt.Printf("factorized memory:  ~%d KiB\n", fact.MemoryBytes()/1024)
 
 	// The factorization still enumerates the exact tuples, constant delay
 	// per tuple; print the first three.
 	printed := 0
-	fact.Enumerate(func(t fivm.Tuple) bool {
+	factSnap.Enumerate(func(t fivm.Tuple) bool {
 		fmt.Printf("  tuple %v\n", t)
 		printed++
 		return printed < 3
@@ -78,5 +82,6 @@ func main() {
 	if err := fact.ApplyDelta("R1", d); err != nil {
 		panic(err)
 	}
-	fmt.Printf("after deleting key 0's R1 tuples: %d tuples\n", fact.Count())
+	fmt.Printf("after deleting key 0's R1 tuples: %d tuples (pinned epoch still had %d)\n",
+		fact.Snapshot().Count(), factSnap.Count())
 }

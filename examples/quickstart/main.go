@@ -61,8 +61,13 @@ func main() {
 	insert("S", fivm.NewSchema("A", "C", "E"), fivm.Ints(1, 7, 3), fivm.Ints(2, 8, 5))
 	insert("T", fivm.NewSchema("C", "D"), fivm.Ints(7, 100), fivm.Ints(8, 200))
 
-	fmt.Println("after inserts:")
-	for _, e := range eng.Result().SortedEntries() {
+	// Read through the snapshot API: every applied batch publishes a
+	// consistent epoch, and a Reader pins one — safe even while another
+	// goroutine keeps applying deltas (eng.Result() would be a live,
+	// unsynchronized handle).
+	reader := fivm.NewReader[int64](eng)
+	fmt.Printf("after inserts (epoch %d):\n", reader.Epoch())
+	for _, e := range reader.Snapshot().Result().SortedEntries() {
 		fmt.Printf("  (A,C)=%v -> SUM(B*D*E)=%d\n", e.Tuple, e.Payload)
 	}
 
@@ -73,8 +78,14 @@ func main() {
 		panic(err)
 	}
 
-	fmt.Println("after deleting S(1,7,3):")
-	for _, e := range eng.Result().SortedEntries() {
+	// The pinned reader still serves the pre-delete epoch; Refresh moves it
+	// to the freshest published state.
+	if p, ok := reader.Lookup(fivm.Ints(1, 7)); ok {
+		fmt.Printf("pinned epoch %d still serves (1,7) -> %d\n", reader.Epoch(), p)
+	}
+	reader.Refresh()
+	fmt.Printf("after deleting S(1,7,3) (epoch %d):\n", reader.Epoch())
+	for _, e := range reader.Snapshot().Result().SortedEntries() {
 		fmt.Printf("  (A,C)=%v -> SUM(B*D*E)=%d\n", e.Tuple, e.Payload)
 	}
 	fmt.Printf("materialized views: %d\n", eng.ViewCount())

@@ -56,7 +56,7 @@ func main() {
 	)
 
 	fmt.Println("revenue per region:")
-	for _, e := range eng.Result().SortedEntries() {
+	for _, e := range eng.Snapshot().Result().SortedEntries() {
 		fmt.Printf("  region %v -> %d\n", e.Tuple, e.Payload)
 	}
 
@@ -68,7 +68,7 @@ func main() {
 		panic(err)
 	}
 	fmt.Println("after repricing item 2 to 30:")
-	for _, e := range eng.Result().SortedEntries() {
+	for _, e := range eng.Snapshot().Result().SortedEntries() {
 		fmt.Printf("  region %v -> %d\n", e.Tuple, e.Payload)
 	}
 }

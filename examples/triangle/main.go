@@ -44,16 +44,19 @@ func main() {
 		}
 	}
 
-	cPlain, _ := plain.Result().Get(fivm.Tuple{})
-	cInd, _ := indexed.Result().Get(fivm.Tuple{})
+	// Read through published snapshots (Result()/ViewOf() are live handles;
+	// snapshots are the concurrency-safe read path).
+	cPlain, _ := plain.Snapshot().Result().Get(fivm.Tuple{})
+	cInd, _ := indexed.Snapshot().Result().Get(fivm.Tuple{})
 	fmt.Printf("triangles: %d (plain) = %d (with indicator): %v\n", cPlain, cInd, cPlain == cInd)
 
 	// The indicator bounds the intermediate view at C.
 	sizeAt := func(e *fivm.Engine[int64], v string) int {
 		size := -1
+		snap := e.Snapshot()
 		e.Tree().Walk(func(n *fivm.ViewNode) {
 			if n.Var == v {
-				if rel := e.ViewOf(n); rel != nil {
+				if rel := snap.ViewOf(n); rel != nil {
 					size = rel.Len()
 				}
 			}

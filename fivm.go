@@ -22,7 +22,9 @@
 //	ord := fivm.MustOrder(fivm.V("A", fivm.V("B"), fivm.V("C")))
 //	eng, _ := fivm.NewEngine[int64](q, ord, fivm.IntRing{}, fivm.CountLift, fivm.EngineOptions[int64]{})
 //	_ = eng.Init()
-//	// feed deltas with eng.ApplyDelta; read eng.Result().
+//	// feed deltas with eng.ApplyDelta; read via eng.Snapshot() (or a
+//	// fivm.NewReader handle for concurrent serving). eng.Result() is a
+//	// live handle: only safe quiescently, on the maintenance goroutine.
 package fivm
 
 import (
@@ -35,6 +37,7 @@ import (
 	"fivm/internal/query"
 	"fivm/internal/regression"
 	"fivm/internal/ring"
+	"fivm/internal/serve"
 	"fivm/internal/sqlparse"
 	"fivm/internal/viewtree"
 	"fivm/internal/vorder"
@@ -255,6 +258,42 @@ func NewShardedRelation[P any](r Ring[P], schema Schema, col string, n int) (*Sh
 func SplitRelation[P any](r *Relation[P], col string, n int) ([]*Relation[P], error) {
 	return data.Split(r, col, n)
 }
+
+// --- serving reads: epoch-based snapshots -----------------------------------
+
+// RelationSnapshot is an immutable point-in-time copy of a Relation,
+// readable lock-free from any number of goroutines: point lookups by key,
+// ordered iteration, and prefix scans over leading variables.
+type RelationSnapshot[P any] = data.RelationSnapshot[P]
+
+// ViewSnapshot is one published epoch of a maintainer's state: the query
+// result plus a named catalog of materialized views, all mutually
+// consistent — exactly the state after some whole applied batch. Every
+// Maintainer publishes one per batch once serving is enabled (first
+// Snapshot call), via a single atomic epoch-pointer swap.
+type ViewSnapshot[P any] = ivm.ViewSnapshot[P]
+
+// SnapshotSource is anything that publishes view snapshots; every
+// Maintainer qualifies.
+type SnapshotSource[P any] = serve.Source[P]
+
+// Reader is a lock-free read handle pinned to one snapshot epoch: point
+// lookups by group-by key, prefix scans, view-catalog access, and explicit
+// Refresh with monotonic (never regressing) epochs. One Reader per reading
+// goroutine.
+type Reader[P any] = serve.Reader[P]
+
+// NewReader pins the source's current epoch. Enable publication first by
+// calling Snapshot once from the maintenance goroutine (after Init);
+// NewReader itself may then be called from any goroutine.
+func NewReader[P any](src SnapshotSource[P]) *Reader[P] {
+	return serve.NewReader[P](src)
+}
+
+// CQResultSnapshot is an epoch-pinned conjunctive query result: counting and
+// (factorized) enumeration against one consistent snapshot, safe under
+// concurrent maintenance. Obtain one from CQResult.Snapshot.
+type CQResultSnapshot = factorized.ResultSnapshot
 
 // Competitor strategies (first-order IVM, DBToaster-style recursive IVM,
 // and re-evaluation), exposed for benchmarking and comparison.

@@ -265,3 +265,75 @@ func TestChooseOrderFacade(t *testing.T) {
 		t.Errorf("cost = %v", c)
 	}
 }
+
+// TestServingReads exercises the snapshot read path through the facade the
+// way the README "Serving reads" section shows it: enable publication, pin
+// a reader, stream updates concurrently, and read consistent epochs.
+func TestServingReads(t *testing.T) {
+	q := fivm.MustQuery("Q", fivm.NewSchema("A"),
+		fivm.Rel("R", fivm.NewSchema("A", "B")),
+		fivm.Rel("S", fivm.NewSchema("A", "C")))
+	eng, err := fivm.NewEngine[int64](q, fivm.MustOrder(fivm.V("A", fivm.V("B"), fivm.V("C"))),
+		fivm.IntRing{}, fivm.CountLift, fivm.EngineOptions[int64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fivm.NewRelation[int64](fivm.IntRing{}, fivm.NewSchema("A", "B"))
+	for a := int64(0); a < 10; a++ {
+		base.Merge(fivm.Ints(a, a%3), 1)
+	}
+	if err := eng.Load("R", base); err != nil {
+		t.Fatal(err)
+	}
+	sbase := fivm.NewRelation[int64](fivm.IntRing{}, fivm.NewSchema("A", "C"))
+	for a := int64(0); a < 10; a++ {
+		sbase.Merge(fivm.Ints(a, 1), 1)
+	}
+	if err := eng.Load("S", sbase); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Init(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Enable publication (maintenance side), pin a reader, and read.
+	rd := fivm.NewReader[int64](eng)
+	if rd.Epoch() != 0 {
+		t.Fatalf("epoch = %d, want 0", rd.Epoch())
+	}
+	if p, ok := rd.Lookup(fivm.Ints(3)); !ok || p != 1 {
+		t.Fatalf("Lookup(3) = %d,%v, want 1", p, ok)
+	}
+
+	// Stream a batch; the pinned reader is isolated until Refresh.
+	d := fivm.NewRelation[int64](fivm.IntRing{}, fivm.NewSchema("A", "B"))
+	d.Merge(fivm.Ints(3, 9), 1)
+	if err := eng.ApplyDeltas([]fivm.NamedDelta[int64]{{Rel: "R", Delta: d}}); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := rd.Lookup(fivm.Ints(3)); p != 1 {
+		t.Fatalf("pinned reader moved: %d", p)
+	}
+	if !rd.Refresh() || rd.Epoch() != 1 {
+		t.Fatalf("Refresh: epoch = %d, want 1", rd.Epoch())
+	}
+	if p, _ := rd.Lookup(fivm.Ints(3)); p != 2 {
+		t.Fatalf("Lookup(3) after refresh = %d, want 2", p)
+	}
+
+	// Scans and the view catalog round-trip through the facade types.
+	var scanned int
+	rd.Scan(nil, func(fivm.Tuple, int64) bool { scanned++; return true })
+	if scanned != rd.Len() {
+		t.Fatalf("scan visited %d of %d", scanned, rd.Len())
+	}
+	var snap *fivm.ViewSnapshot[int64] = rd.Snapshot()
+	for _, name := range snap.Views() {
+		if snap.View(name) == nil || eng.ViewByName(name) == nil {
+			t.Fatalf("catalog name %q does not resolve", name)
+		}
+	}
+	if got, want := len(eng.ViewNames()), len(snap.Views()); got != want {
+		t.Fatalf("ViewNames %d != snapshot catalog %d", got, want)
+	}
+}

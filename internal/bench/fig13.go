@@ -19,6 +19,9 @@ type Fig13Config struct {
 	// 1, sequential); the triangle shards on one edge variable with the
 	// third relation broadcast.
 	Workers int
+	// Readers runs N concurrent snapshot-reader goroutines against every
+	// strategy while it streams (the -readers CLI flag).
+	Readers int
 	Twitter datasets.TwitterConfig
 	// AutoOrder replaces the handpicked A-B-C order with an
 	// optimizer-chosen one (engines self-plan from dataset statistics).
@@ -50,9 +53,10 @@ func Fig13(cfg Fig13Config) []*Table {
 	}
 	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
 	oneStream := datasets.SingleRelationStream(ds, "R", cfg.BatchSize)
-	opts := RunOptions{Timeout: cfg.Timeout, Workers: cfg.Workers}
+	opts := RunOptions{Timeout: cfg.Timeout, Workers: cfg.Workers, Readers: cfg.Readers}
 
 	var results []RunResult
+	var served []MixedResult
 
 	{
 		m, err := parallelize[ring.Triple](ds.Query, ring.Cofactor{}, cfg.Workers,
@@ -60,7 +64,7 @@ func Fig13(cfg Fig13Config) []*Table {
 		must(err)
 		attachRouterStats(m, cs.stats)
 		must(m.Init())
-		results = append(results, RunStream("F-IVM", Adapt(m, tripleDelta(ds.Query)), stream, opts))
+		runServed(&results, &served, "F-IVM", m, tripleDelta(ds.Query), stream, opts)
 		closeMaintainer(m)
 	}
 	{
@@ -68,33 +72,37 @@ func Fig13(cfg Fig13Config) []*Table {
 			func() (ivm.Maintainer[ring.Triple], error) { return cs.DBTRing(nil) })
 		must(err)
 		must(m.Init())
-		results = append(results, RunStream("DBT-RING", Adapt(m, tripleDelta(ds.Query)), stream, opts))
+		runServed(&results, &served, "DBT-RING", m, tripleDelta(ds.Query), stream, opts)
 		closeMaintainer(m)
 	}
 	{
 		m, err := cs.DBTScalar(nil)
 		must(err)
 		must(m.Init())
-		results = append(results, RunStream("DBT", Adapt[float64](m, floatDelta(ds.Query)), stream, opts))
+		runServed(&results, &served, "DBT", m, floatDelta(ds.Query), stream, opts)
 	}
 	{
 		m, err := cs.FirstOrderScalar(ord())
 		must(err)
 		must(m.Init())
-		results = append(results, RunStream("1-IVM", Adapt[float64](m, floatDelta(ds.Query)), stream, opts))
+		runServed(&results, &served, "1-IVM", m, floatDelta(ds.Query), stream, opts)
 	}
 	{
 		m, err := cs.FIVM(ord(), []string{"R"})
 		must(err)
 		must(preload(m, ds, tripleDelta(ds.Query), map[string]bool{"R": true}))
-		results = append(results, RunStream("F-IVM ONE", Adapt(m, tripleDelta(ds.Query)), oneStream, opts))
+		runServed(&results, &served, "F-IVM ONE", m, tripleDelta(ds.Query), oneStream, opts)
 	}
 
 	title := "Figure 13: cofactor over the triangle query (Twitter)"
 	if cfg.AutoOrder {
 		title += ", auto-order"
 	}
-	return fig7Tables(workersTitle(title, opts), results)
+	tables := fig7Tables(workersTitle(title, opts), results)
+	if len(served) > 0 {
+		tables = append(tables, mixedTable(workersTitle(title, opts), served))
+	}
+	return tables
 }
 
 // TriangleIndicator demonstrates Appendix B: the indicator projection
@@ -132,7 +140,7 @@ func TriangleIndicator(cfg Fig13Config) *Table {
 	}
 	for _, ind := range []bool{false, true} {
 		e, res := build(ind)
-		count, _ := e.Result().Get(data.Tuple{})
+		count, _ := e.Snapshot().Result().Get(data.Tuple{})
 		name := "plain"
 		if ind {
 			name = "with ∃_{A,B}R"

@@ -24,7 +24,12 @@ type Fig7Config struct {
 	// Workers is the shard/worker count for parallel maintenance (default 1,
 	// sequential). Strategies are wrapped in ivm.NewParallel, partitioning
 	// the database by the best-covered join variable.
-	Workers  int
+	Workers int
+	// Readers runs N concurrent snapshot-reader goroutines against every
+	// strategy while it streams (the -readers CLI flag): maintenance
+	// publishes an epoch per batch and readers issue lookups and prefix
+	// scans against it, reported in an extra serving table.
+	Readers  int
 	Retailer datasets.RetailerConfig
 	Housing  datasets.HousingConfig
 	// IncludeScalar adds the per-aggregate DBT and 1-IVM competitors
@@ -72,12 +77,10 @@ func Fig7(cfg Fig7Config) []*Table {
 	}
 	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
 	oneStream := datasets.SingleRelationStream(ds, ds.Largest, cfg.BatchSize)
-	opts := RunOptions{Timeout: cfg.Timeout, Group: cfg.Group, Workers: cfg.Workers}
+	opts := RunOptions{Timeout: cfg.Timeout, Group: cfg.Group, Workers: cfg.Workers, Readers: cfg.Readers}
 
 	var results []RunResult
-	run := func(name string, l Loader, s []datasets.Batch) {
-		results = append(results, RunStream(name, l, s, opts))
-	}
+	var served []MixedResult
 
 	// F-IVM: one view tree, cofactor-ring payloads.
 	{
@@ -88,7 +91,7 @@ func Fig7(cfg Fig7Config) []*Table {
 		}
 		attachRouterStats(m, cs.stats)
 		must(m.Init())
-		run("F-IVM", Adapt(m, tripleDelta(ds.Query)), stream)
+		runServed(&results, &served, "F-IVM", m, tripleDelta(ds.Query), stream, opts)
 		closeMaintainer(m)
 	}
 	// SQL-OPT: same views, degree-indexed aggregate encoding.
@@ -99,7 +102,7 @@ func Fig7(cfg Fig7Config) []*Table {
 			panic(err)
 		}
 		must(m.Init())
-		run("SQL-OPT", Adapt(m, degMapDelta(ds.Query)), stream)
+		runServed(&results, &served, "SQL-OPT", m, degMapDelta(ds.Query), stream, opts)
 		closeMaintainer(m)
 	}
 	// DBT-RING: recursive hierarchies, cofactor-ring payloads.
@@ -110,7 +113,7 @@ func Fig7(cfg Fig7Config) []*Table {
 			panic(err)
 		}
 		must(m.Init())
-		run("DBT-RING", Adapt(m, tripleDelta(ds.Query)), stream)
+		runServed(&results, &served, "DBT-RING", m, tripleDelta(ds.Query), stream, opts)
 		closeMaintainer(m)
 	}
 	if cfg.IncludeScalar {
@@ -121,7 +124,7 @@ func Fig7(cfg Fig7Config) []*Table {
 			panic(err)
 		}
 		must(m.Init())
-		run("DBT", Adapt[float64](m, floatDelta(ds.Query)), stream)
+		runServed(&results, &served, "DBT", m, floatDelta(ds.Query), stream, opts)
 		closeMaintainer(m)
 
 		// 1-IVM: one delta query per aggregate per update.
@@ -131,7 +134,7 @@ func Fig7(cfg Fig7Config) []*Table {
 			panic(err)
 		}
 		must(fo.Init())
-		run("1-IVM", Adapt[float64](fo, floatDelta(ds.Query)), stream)
+		runServed(&results, &served, "1-IVM", fo, floatDelta(ds.Query), stream, opts)
 		closeMaintainer(fo)
 	}
 	// ONE variants: updates to the largest relation only.
@@ -143,7 +146,7 @@ func Fig7(cfg Fig7Config) []*Table {
 			panic(err)
 		}
 		must(preload(m, ds, tripleDelta(ds.Query), skip))
-		run("F-IVM ONE", Adapt(m, tripleDelta(ds.Query)), oneStream)
+		runServed(&results, &served, "F-IVM ONE", m, tripleDelta(ds.Query), oneStream, opts)
 		closeMaintainer(m)
 	}
 	{
@@ -153,7 +156,7 @@ func Fig7(cfg Fig7Config) []*Table {
 			panic(err)
 		}
 		must(preload(m, ds, degMapDelta(ds.Query), skip))
-		run("SQL-OPT ONE", Adapt(m, degMapDelta(ds.Query)), oneStream)
+		runServed(&results, &served, "SQL-OPT ONE", m, degMapDelta(ds.Query), oneStream, opts)
 		closeMaintainer(m)
 	}
 	{
@@ -163,7 +166,7 @@ func Fig7(cfg Fig7Config) []*Table {
 			panic(err)
 		}
 		must(preload(m, ds, tripleDelta(ds.Query), skip))
-		run("DBT-RING ONE", Adapt(m, tripleDelta(ds.Query)), oneStream)
+		runServed(&results, &served, "DBT-RING ONE", m, tripleDelta(ds.Query), oneStream, opts)
 		closeMaintainer(m)
 	}
 
@@ -171,7 +174,11 @@ func Fig7(cfg Fig7Config) []*Table {
 	if cfg.AutoOrder {
 		title += ", auto-order"
 	}
-	return fig7Tables(workersTitle(title, opts), results)
+	tables := fig7Tables(workersTitle(title, opts), results)
+	if len(served) > 0 {
+		tables = append(tables, mixedTable(workersTitle(title, opts), served))
+	}
+	return tables
 }
 
 // workersTitle annotates a figure title with the run's worker count.

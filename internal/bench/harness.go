@@ -75,6 +75,10 @@ type RunOptions struct {
 	// built with (informational — parallelism is a property of the
 	// maintainer, constructed via ivm.NewParallel, not of the stream loop).
 	Workers int
+	// Readers is the number of concurrent snapshot-reader goroutines to run
+	// against the maintainer while it streams (RunMixed); zero keeps the
+	// run write-only with snapshot publication disabled.
+	Readers int
 }
 
 // Loader abstracts the subset of a maintenance strategy the harness drives.

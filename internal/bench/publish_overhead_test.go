@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"fivm/internal/datasets"
+)
+
+// TestPublishOverheadAdHoc measures fig7 F-IVM write throughput with and
+// without per-batch snapshot publication (no readers), to isolate the
+// publish cost on the maintenance path. Run with -run PublishOverheadAdHoc
+// -v; skipped in short mode.
+func TestPublishOverheadAdHoc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ad hoc measurement")
+	}
+	cfg := DefaultFig7("retailer")
+	ds := datasets.GenRetailer(cfg.Retailer)
+	cs := newCofactorStrategies(ds.Query)
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), 1000)
+	opts := RunOptions{Timeout: 10 * time.Second}
+	for _, publish := range []bool{false, true} {
+		var best float64
+		for rep := 0; rep < 3; rep++ {
+			m, err := cs.FIVM(ds.NewOrder(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Init(); err != nil {
+				t.Fatal(err)
+			}
+			if publish {
+				m.Snapshot() // enable per-batch publication
+			}
+			res := RunStream("F-IVM", Adapt(m, tripleDelta(ds.Query)), stream, opts)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if res.Throughput > best {
+				best = res.Throughput
+			}
+		}
+		t.Logf("publish=%v: best of 3 = %.1fK tuples/s", publish, best/1e3)
+	}
+}

@@ -120,17 +120,19 @@ func (ir *IndexedRelation[P]) mergeProjectedIndexed(proj Projector, t Tuple, p P
 	if ok {
 		var zero bool
 		if ir.mut != nil {
+			ir.touchEntry(en)
 			ir.mut.AddInto(&en.Payload, p)
 			zero = ir.ring.IsZero(en.Payload)
 		} else {
 			s := ir.ring.Add(en.Payload, p)
 			zero = ir.ring.IsZero(s)
 			if !zero {
+				ir.markEntry(en)
 				en.Payload = s
 			}
 		}
 		if zero {
-			ir.removeEntry(en.key)
+			ir.removeEntry(en)
 			for _, ix := range ir.indexes {
 				ix.Remove(en)
 			}
@@ -144,6 +146,7 @@ func (ir *IndexedRelation[P]) mergeProjectedIndexed(proj Projector, t Tuple, p P
 	en = &Entry[P]{key: key, Tuple: proj.Apply(t), Payload: ir.owned(p)}
 	ir.entries[key] = en
 	ir.noteInsert(en.Tuple)
+	ir.markInserted(en)
 	for _, ix := range ir.indexes {
 		ix.Add(en)
 	}

@@ -16,6 +16,12 @@ type Entry[P any] struct {
 	key     string
 	Tuple   Tuple
 	Payload P
+	// gen guards snapshot sharing of mutable payload storage: when it is
+	// older than the relation's publish generation, the storage is shared
+	// with a published snapshot and must be privatized before the next
+	// in-place mutation (see Relation.ensureOwned). Zero on relations that
+	// were never snapshotted.
+	gen uint64
 }
 
 // Key returns the entry's encoded tuple key.
@@ -37,6 +43,11 @@ func (e *Entry[P]) Key() string { return e.key }
 // place by later merges, so steady-state payload accumulation does zero
 // allocations. Payloads read out of such a relation are snapshots only
 // until its next update.
+//
+// For concurrent readers, Snapshot publishes an immutable RelationSnapshot
+// of the current contents at O(changed-since-last-snapshot) cost; sealed
+// snapshot entries are never mutated in place, so pinned snapshots stay
+// valid while the live relation keeps changing.
 type Relation[P any] struct {
 	schema  Schema
 	ring    ring.Ring[P]
@@ -53,6 +64,9 @@ type Relation[P any] struct {
 	// stats, when non-nil, receives every insert/delete transition; see
 	// CollectStats.
 	stats *RelStats
+	// snap, when non-nil, tracks the keys dirtied since the last published
+	// snapshot; see Snapshot.
+	snap *snapState[P]
 }
 
 // NewRelation creates an empty relation over the given ring and schema.
@@ -102,7 +116,11 @@ func (r *Relation[P]) Reserve(n int) {
 // steady-state delta scratch relations (and, after RecycleCleared, the
 // entry structs and their payload storage too).
 func (r *Relation[P]) Clear() {
-	if r.recycle {
+	if r.recycle && r.snap == nil {
+		// Recycling is disabled once the relation publishes snapshots:
+		// pinned snapshots may still reference the cleared entries and
+		// their payload storage. (Recycling scratch relations are never
+		// snapshotted, so this guard changes nothing in practice.)
 		for _, e := range r.entries {
 			e.Tuple = nil // tuples may be retained by consumers; never reused
 			r.free = append(r.free, e)
@@ -110,6 +128,11 @@ func (r *Relation[P]) Clear() {
 	}
 	if r.stats != nil {
 		r.stats.Live -= len(r.entries)
+	}
+	if r.snap != nil {
+		// Wholesale invalidation: the next publish rebuilds from scratch.
+		r.snap.fullDirty = true
+		r.snap.dirtyKeys = r.snap.dirtyKeys[:0]
 	}
 	clear(r.entries)
 }
@@ -166,11 +189,12 @@ func (r *Relation[P]) noteDelete() {
 // copy what they keep. Stored tuples are never reused.
 func (r *Relation[P]) RecycleCleared() { r.recycle = true }
 
-// removeEntry deletes an entry's key and reports the transition to the
-// statistics collector.
-func (r *Relation[P]) removeEntry(key string) {
-	delete(r.entries, key)
+// removeEntry deletes an entry and reports the transition to the
+// statistics collector and the snapshot dirty list.
+func (r *Relation[P]) removeEntry(e *Entry[P]) {
+	delete(r.entries, e.key)
 	r.noteDelete()
+	r.markEntry(e)
 }
 
 // insertEntry stores a fresh entry under key (which must be absent),
@@ -189,6 +213,7 @@ func (r *Relation[P]) insertEntry(key string, t Tuple) *Entry[P] {
 	}
 	r.entries[key] = e
 	r.noteInsert(t)
+	r.markInserted(e)
 	return e
 }
 
@@ -257,13 +282,24 @@ func (r *Relation[P]) ContainsKey(key string) bool {
 func (r *Relation[P]) Set(t Tuple, p P) {
 	if e := r.lookup(t); e != nil {
 		if r.ring.IsZero(p) {
-			r.removeEntry(e.key)
+			r.removeEntry(e)
 			return
 		}
 		if r.mut != nil {
+			if s := r.snap; s != nil && e.gen != s.gen {
+				// Storage shared with a snapshot: overwrite into fresh storage
+				// (no point privatizing the old payload just to discard it).
+				var o P
+				r.mut.CopyInto(&o, p)
+				e.Payload = o
+				e.gen = s.gen
+				s.dirtyKeys = append(s.dirtyKeys, e.key)
+				return
+			}
 			r.mut.CopyInto(&e.Payload, p) // reuse the owned payload's storage
 			return
 		}
+		r.markEntry(e)
 		e.Payload = p
 		return
 	}
@@ -290,18 +326,20 @@ func (r *Relation[P]) setPayload(e *Entry[P], p P) {
 func (r *Relation[P]) mergeEntry(t Tuple, p P) (en *Entry[P], existed, exists bool) {
 	if e := r.lookup(t); e != nil {
 		if r.mut != nil {
+			r.touchEntry(e)
 			r.mut.AddInto(&e.Payload, p)
 			if r.ring.IsZero(e.Payload) {
-				r.removeEntry(e.key)
+				r.removeEntry(e)
 				return e, true, false
 			}
 			return e, true, true
 		}
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
-			r.removeEntry(e.key)
+			r.removeEntry(e)
 			return e, true, false
 		}
+		r.markEntry(e)
 		e.Payload = s
 		return e, true, true
 	}
@@ -337,17 +375,19 @@ func (r *Relation[P]) MergeProjected(proj Projector, t Tuple, p P) {
 	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
 	if e, ok := r.entries[string(r.keyBuf)]; ok {
 		if r.mut != nil {
+			r.touchEntry(e)
 			r.mut.AddInto(&e.Payload, p)
 			if r.ring.IsZero(e.Payload) {
-				r.removeEntry(e.key)
+				r.removeEntry(e)
 			}
 			return
 		}
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
-			r.removeEntry(e.key)
+			r.removeEntry(e)
 			return
 		}
+		r.markEntry(e)
 		e.Payload = s
 		return
 	}
@@ -368,9 +408,10 @@ func (r *Relation[P]) MergeMul(t Tuple, a, b *P) {
 		return
 	}
 	if e := r.lookup(t); e != nil {
+		r.touchEntry(e)
 		r.mut.MulAddInto(&e.Payload, a, b)
 		if r.ring.IsZero(e.Payload) {
-			r.removeEntry(e.key)
+			r.removeEntry(e)
 		}
 		return
 	}
@@ -385,7 +426,7 @@ func (r *Relation[P]) MergeMul(t Tuple, a, b *P) {
 // dropFresh removes an entry that was just inserted but whose payload
 // turned out zero, returning it to the freelist when recycling.
 func (r *Relation[P]) dropFresh(e *Entry[P]) {
-	r.removeEntry(e.key)
+	r.removeEntry(e)
 	if r.recycle {
 		e.Tuple = nil
 		r.free = append(r.free, e)
@@ -404,9 +445,10 @@ func (r *Relation[P]) MergeMulProjected(proj Projector, t Tuple, a, b *P) {
 	}
 	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
 	if e, ok := r.entries[string(r.keyBuf)]; ok {
+		r.touchEntry(e)
 		r.mut.MulAddInto(&e.Payload, a, b)
 		if r.ring.IsZero(e.Payload) {
-			r.removeEntry(e.key)
+			r.removeEntry(e)
 		}
 		return
 	}
@@ -422,17 +464,19 @@ func (r *Relation[P]) MergeMulProjected(proj Projector, t Tuple, a, b *P) {
 func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
 	if e, ok := r.entries[key]; ok {
 		if r.mut != nil {
+			r.touchEntry(e)
 			r.mut.AddInto(&e.Payload, p)
 			if r.ring.IsZero(e.Payload) {
-				r.removeEntry(key)
+				r.removeEntry(e)
 			}
 			return
 		}
 		s := r.ring.Add(e.Payload, p)
 		if r.ring.IsZero(s) {
-			r.removeEntry(key)
+			r.removeEntry(e)
 			return
 		}
+		r.markEntry(e)
 		e.Payload = s
 		return
 	}

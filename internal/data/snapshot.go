@@ -1,0 +1,390 @@
+package data
+
+import (
+	"sort"
+
+	"fivm/internal/ring"
+)
+
+// Snapshot chunk sizing: published entries are held in key-sorted chunks so a
+// publish clones only the chunks containing changed keys. Chunks split at
+// snapChunkMax into runs of snapChunkTarget; smaller constants cheapen the
+// per-changed-key clone, larger ones cheapen the per-snapshot directory.
+const (
+	snapChunkTarget = 64
+	snapChunkMax    = 128
+)
+
+// RelationSnapshot is an immutable point-in-time copy of a Relation: a
+// finite map from encoded tuple keys to payloads that is never mutated after
+// publication, so any number of goroutines may read it concurrently, with no
+// locks, while the source relation keeps changing.
+//
+// Entries are held in chunks sorted by encoded key. The key encoding
+// (Tuple.AppendKey) is self-delimiting and prefix-preserving — the encoding
+// of a tuple prefix is a byte-prefix of the full encoding — so the sorted
+// order groups every group-by prefix contiguously and ScanPrefix serves
+// leading-variable range scans without secondary indexes.
+//
+// Consecutive snapshots of one relation share the chunks (and the entries)
+// of every key range that did not change between publishes: publishing costs
+// O(changed keys · chunk size + chunk count), not O(relation size).
+type RelationSnapshot[P any] struct {
+	schema Schema
+	ring   ring.Ring[P]
+	n      int
+	chunks [][]*Entry[P]
+}
+
+// snapState is the incremental publication machinery a relation carries once
+// its first Snapshot has been taken: the keys dirtied since the last publish
+// and the last published snapshot, which the next publish patches.
+type snapState[P any] struct {
+	// dirtyKeys lists the keys changed since the last publish, deduplicated
+	// on the hot path by entry generation (one compare per touch) and again
+	// at publish after sorting; the slice is reset (capacity kept) per
+	// publish, so steady-state dirty tracking does not allocate or hash.
+	dirtyKeys []string
+	// fullDirty marks wholesale invalidation (Clear): the next publish
+	// rebuilds from the live contents instead of patching.
+	fullDirty bool
+	last      *RelationSnapshot[P]
+	// gen is the publish generation, bumped after every published snapshot.
+	// An entry whose gen is current has already been recorded dirty this
+	// epoch and (for mutable rings) owns private payload storage; an older
+	// gen means the entry is untouched since the last publish and its
+	// mutable payload storage is shared with it, so publishing never
+	// deep-copies payloads — the copy happens on the first re-touch of a
+	// sealed key, and not at all for keys written once (insert-heavy
+	// streams publish with no payload copying).
+	gen uint64
+}
+
+// sealEntry returns a snapshot-owned copy of a live entry: a fresh Entry
+// struct sharing the (immutable) tuple and the payload. For rings with
+// in-place accumulation the shared payload storage is protected by the
+// entry's generation — the live side privatizes it on the next touch
+// (touchEntry) — so sealing is O(1) regardless of payload size.
+func (r *Relation[P]) sealEntry(e *Entry[P]) *Entry[P] {
+	return &Entry[P]{key: e.key, Tuple: e.Tuple, Payload: e.Payload}
+}
+
+// touchEntry prepares a stored entry for an in-place payload mutation: on
+// its first touch per publish epoch it records the key in the dirty list
+// and, for rings with in-place accumulation, privatizes payload storage
+// shared with the last published snapshot. Later touches in the same epoch
+// cost one comparison; relations never snapshotted pay a nil check.
+func (r *Relation[P]) touchEntry(e *Entry[P]) {
+	s := r.snap
+	if s == nil || e.gen == s.gen {
+		return
+	}
+	if r.mut != nil {
+		var o P
+		r.mut.CopyInto(&o, e.Payload)
+		e.Payload = o
+	}
+	e.gen = s.gen
+	s.dirtyKeys = append(s.dirtyKeys, e.key)
+}
+
+// markEntry records an entry's key in the dirty list without touching its
+// payload storage (removals: the storage stays with the snapshots).
+func (r *Relation[P]) markEntry(e *Entry[P]) {
+	if s := r.snap; s != nil && e.gen != s.gen {
+		e.gen = s.gen
+		s.dirtyKeys = append(s.dirtyKeys, e.key)
+	}
+}
+
+// markInserted records a freshly inserted entry: its key goes in the dirty
+// list unconditionally (a recycled entry struct may carry a current gen for
+// a different key) and its generation is made current — fresh payload
+// storage is writer-owned until the next publish seals it.
+func (r *Relation[P]) markInserted(e *Entry[P]) {
+	if s := r.snap; s != nil {
+		e.gen = s.gen
+		s.dirtyKeys = append(s.dirtyKeys, e.key)
+	}
+}
+
+// Snapshot publishes an immutable copy of the relation's current contents.
+// The first call is O(n) and attaches dirty tracking; every later call costs
+// O(keys changed since the previous call) and shares all unchanged storage
+// with the previous snapshot (a call with no changes returns the previous
+// snapshot itself). Snapshot must be called from the goroutine that mutates
+// the relation; the returned snapshot may then be read from any goroutine.
+func (r *Relation[P]) Snapshot() *RelationSnapshot[P] {
+	if r.snap == nil {
+		r.snap = &snapState[P]{gen: 1}
+		r.snap.last = r.buildSnapshot(true)
+		r.snap.gen++
+		return r.snap.last
+	}
+	s := r.snap
+	switch {
+	case s.fullDirty:
+		s.fullDirty = false
+		s.dirtyKeys = s.dirtyKeys[:0]
+		s.last = r.buildSnapshot(true)
+		s.gen++
+	case len(s.dirtyKeys) > 0:
+		s.last = s.last.patch(r, s.dirtyKeys)
+		s.dirtyKeys = s.dirtyKeys[:0]
+		s.gen++
+	}
+	return s.last
+}
+
+// Seal wraps a relation that will never be mutated again into a snapshot,
+// sharing its entries instead of copying them. It is the cheap publication
+// path for results rebuilt wholesale per batch (re-evaluation, parallel
+// shard reduction). Mutating the relation after Seal corrupts the snapshot.
+func (r *Relation[P]) Seal() *RelationSnapshot[P] {
+	return r.buildSnapshot(false)
+}
+
+// buildSnapshot constructs a snapshot from the full live contents, copying
+// entries when seal is set and sharing them otherwise.
+func (r *Relation[P]) buildSnapshot(seal bool) *RelationSnapshot[P] {
+	es := make([]*Entry[P], 0, len(r.entries))
+	for _, e := range r.entries {
+		if seal {
+			e = r.sealEntry(e)
+		}
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].key < es[j].key })
+	s := &RelationSnapshot[P]{schema: r.schema, ring: r.ring, n: len(es)}
+	s.chunks = appendChunked(nil, es)
+	return s
+}
+
+// patch publishes the next snapshot from the previous one: chunks covering
+// no dirty key are shared, chunks covering dirty keys are re-merged against
+// the live contents. The dirty list is sorted and deduplicated in place
+// (delete-then-reinsert within one epoch records a key twice).
+func (prev *RelationSnapshot[P]) patch(r *Relation[P], keys []string) *RelationSnapshot[P] {
+	sort.Strings(keys)
+	w := 0
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			keys[w] = k
+			w++
+		}
+	}
+	keys = keys[:w]
+
+	next := &RelationSnapshot[P]{schema: prev.schema, ring: prev.ring, n: len(r.entries)}
+	if len(prev.chunks) == 0 {
+		buf := make([]*Entry[P], 0, len(keys))
+		for _, k := range keys {
+			if e, ok := r.entries[k]; ok {
+				buf = append(buf, r.sealEntry(e))
+			}
+		}
+		next.chunks = appendChunked(nil, buf)
+		return next
+	}
+	out := make([][]*Entry[P], 0, len(prev.chunks)+len(keys)/snapChunkTarget)
+	ki := 0
+	for ci, c := range prev.chunks {
+		last := ci == len(prev.chunks)-1
+		// Chunk ci covers keys up to (not including) the next chunk's first
+		// key; the first chunk also absorbs smaller keys, the last all larger.
+		lo := ki
+		for ki < len(keys) && (last || keys[ki] < prev.chunks[ci+1][0].key) {
+			ki++
+		}
+		if lo == ki {
+			out = append(out, c)
+			continue
+		}
+		out = appendChunked(out, mergeChunk(r, c, keys[lo:ki]))
+	}
+	next.chunks = out
+	return next
+}
+
+// mergeChunk merges a sorted chunk with sorted dirty keys: dirty keys still
+// live are replaced by sealed copies of their current entries, dead ones are
+// dropped, and untouched entries are carried over by pointer.
+func mergeChunk[P any](r *Relation[P], c []*Entry[P], keys []string) []*Entry[P] {
+	out := make([]*Entry[P], 0, len(c)+len(keys))
+	i := 0
+	for _, k := range keys {
+		for i < len(c) && c[i].key < k {
+			out = append(out, c[i])
+			i++
+		}
+		if i < len(c) && c[i].key == k {
+			i++ // superseded or deleted
+		}
+		if e, ok := r.entries[k]; ok {
+			out = append(out, r.sealEntry(e))
+		}
+	}
+	return append(out, c[i:]...)
+}
+
+// appendChunked appends a sorted entry run to the chunk list, splitting runs
+// longer than snapChunkMax into snapChunkTarget-sized chunks (subslices of
+// one backing array, immutable after publication).
+func appendChunked[P any](out [][]*Entry[P], es []*Entry[P]) [][]*Entry[P] {
+	for len(es) > snapChunkMax {
+		out = append(out, es[:snapChunkTarget:snapChunkTarget])
+		es = es[snapChunkTarget:]
+	}
+	if len(es) > 0 {
+		out = append(out, es)
+	}
+	return out
+}
+
+// Schema returns the snapshot's schema.
+func (s *RelationSnapshot[P]) Schema() Schema { return s.schema }
+
+// Ring returns the payload ring.
+func (s *RelationSnapshot[P]) Ring() ring.Ring[P] { return s.ring }
+
+// Len returns the number of keys with non-zero payloads at publication time.
+func (s *RelationSnapshot[P]) Len() int { return s.n }
+
+// cmpKey compares an encoded key held as a string with one held as bytes,
+// byte-wise, without converting (and therefore without allocating).
+func cmpKey(a string, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// findChunk returns the index of the chunk whose key range contains key:
+// the last chunk whose first key is <= key (the first chunk also covers
+// smaller keys). Only valid when the snapshot has chunks.
+func (s *RelationSnapshot[P]) findChunk(key []byte) int {
+	i := sort.Search(len(s.chunks), func(i int) bool {
+		return cmpKey(s.chunks[i][0].key, key) > 0
+	})
+	if i > 0 {
+		i--
+	}
+	return i
+}
+
+// Lookup returns the entry stored under an encoded tuple key, or nil. The
+// key bytes may live in a caller-owned scratch buffer; the lookup does not
+// allocate or retain them.
+func (s *RelationSnapshot[P]) Lookup(key []byte) *Entry[P] {
+	if len(s.chunks) == 0 {
+		return nil
+	}
+	c := s.chunks[s.findChunk(key)]
+	i := sort.Search(len(c), func(i int) bool { return cmpKey(c[i].key, key) >= 0 })
+	if i < len(c) && cmpKey(c[i].key, key) == 0 {
+		return c[i]
+	}
+	return nil
+}
+
+// Get returns the payload of tuple t and whether it is non-zero.
+func (s *RelationSnapshot[P]) Get(t Tuple) (P, bool) {
+	var buf [96]byte
+	if e := s.Lookup(t.AppendKey(buf[:0])); e != nil {
+		return e.Payload, true
+	}
+	var zero P
+	return zero, false
+}
+
+// GetKey returns the payload stored under a pre-encoded key.
+func (s *RelationSnapshot[P]) GetKey(key string) (P, bool) {
+	var zero P
+	if len(s.chunks) == 0 {
+		return zero, false
+	}
+	c := s.chunks[s.findChunk([]byte(key))]
+	i := sort.Search(len(c), func(i int) bool { return c[i].key >= key })
+	if i < len(c) && c[i].key == key {
+		return c[i].Payload, true
+	}
+	return zero, false
+}
+
+// ScanPrefix visits, in encoded-key order, every entry whose key starts with
+// the given encoded prefix, until f returns false. A prefix is the encoding
+// of values for a leading subset of the schema's variables (Tuple.AppendKey
+// of a prefix tuple); an empty prefix scans the whole snapshot. The
+// self-delimiting key encoding guarantees a byte-prefix match is exactly a
+// leading-variable value match.
+func (s *RelationSnapshot[P]) ScanPrefix(prefix []byte, f func(e *Entry[P]) bool) {
+	if len(s.chunks) == 0 {
+		return
+	}
+	ci := s.findChunk(prefix)
+	c := s.chunks[ci]
+	i := sort.Search(len(c), func(i int) bool { return cmpKey(c[i].key, prefix) >= 0 })
+	for ; ci < len(s.chunks); ci++ {
+		c = s.chunks[ci]
+		for ; i < len(c); i++ {
+			e := c[i]
+			if len(e.key) < len(prefix) || e.key[:len(prefix)] != string(prefix) {
+				return
+			}
+			if !f(e) {
+				return
+			}
+		}
+		i = 0
+	}
+}
+
+// Iterate calls f for each entry in encoded-key order until f returns false.
+func (s *RelationSnapshot[P]) Iterate(f func(t Tuple, p P) bool) {
+	for _, c := range s.chunks {
+		for _, e := range c {
+			if !f(e.Tuple, e.Payload) {
+				return
+			}
+		}
+	}
+}
+
+// IterateEntries calls f for each entry in encoded-key order until f returns
+// false. Entries are immutable and must not be modified.
+func (s *RelationSnapshot[P]) IterateEntries(f func(e *Entry[P]) bool) {
+	for _, c := range s.chunks {
+		for _, e := range c {
+			if !f(e) {
+				return
+			}
+		}
+	}
+}
+
+// SortedEntries returns copies of the entries in encoded-key order, for
+// deterministic comparison in tests and tools.
+func (s *RelationSnapshot[P]) SortedEntries() []Entry[P] {
+	out := make([]Entry[P], 0, s.n)
+	for _, c := range s.chunks {
+		for _, e := range c {
+			out = append(out, *e)
+		}
+	}
+	return out
+}

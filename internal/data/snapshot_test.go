@@ -1,0 +1,204 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fivm/internal/ring"
+)
+
+// fingerprint renders a snapshot's sorted contents for equality checks.
+func snapFingerprint[P any](s *RelationSnapshot[P]) string {
+	out := ""
+	for _, e := range s.SortedEntries() {
+		out += fmt.Sprintf("%v=%v;", e.Tuple, e.Payload)
+	}
+	return out
+}
+
+func relFingerprint[P any](r *Relation[P]) string {
+	out := ""
+	for _, e := range r.SortedEntries() {
+		out += fmt.Sprintf("%v=%v;", e.Tuple, e.Payload)
+	}
+	return out
+}
+
+// TestSnapshotMatchesRelation drives a relation through random merges and
+// deletions, publishing snapshots along the way: every snapshot must equal
+// the relation's state at publication, and previously pinned snapshots must
+// not change as the relation keeps mutating.
+func TestSnapshotMatchesRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+
+	type pinned struct {
+		snap *RelationSnapshot[int64]
+		fp   string
+	}
+	var pins []pinned
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			tup := Ints(int64(rng.Intn(20)), int64(rng.Intn(5)))
+			if rng.Intn(3) == 0 {
+				if p, ok := r.Get(tup); ok {
+					r.Merge(tup, -p) // cancel to zero: delete
+					continue
+				}
+			}
+			r.Merge(tup, int64(rng.Intn(5)+1))
+		}
+		s := r.Snapshot()
+		if got, want := snapFingerprint(s), relFingerprint(r); got != want {
+			t.Fatalf("round %d: snapshot diverges from relation:\n got %s\nwant %s", round, got, want)
+		}
+		if s.Len() != r.Len() {
+			t.Fatalf("round %d: snapshot Len %d != relation Len %d", round, s.Len(), r.Len())
+		}
+		pins = append(pins, pinned{snap: s, fp: snapFingerprint(s)})
+		// Every pinned snapshot must still read exactly as published.
+		for i, p := range pins {
+			if got := snapFingerprint(p.snap); got != p.fp {
+				t.Fatalf("round %d: pinned snapshot %d changed", round, i)
+			}
+		}
+	}
+}
+
+// TestSnapshotMutableRingIsolation checks that snapshots of relations with
+// in-place payload accumulation (owned triples) deep-copy changed payloads:
+// later merges must not bleed into a pinned snapshot.
+func TestSnapshotMutableRingIsolation(t *testing.T) {
+	cf := ring.Cofactor{}
+	r := NewRelation[ring.Triple](cf, NewSchema("A"))
+	one := ring.LiftValue(0, 2)
+	r.Merge(Ints(1), one)
+	s1 := r.Snapshot()
+	fp1 := snapFingerprint(s1)
+	for i := 0; i < 5; i++ {
+		r.Merge(Ints(1), one) // AddInto mutates the live payload in place
+	}
+	s2 := r.Snapshot()
+	if got := snapFingerprint(s1); got != fp1 {
+		t.Fatalf("pinned snapshot mutated by in-place accumulation:\n got %s\nwant %s", got, fp1)
+	}
+	if snapFingerprint(s2) == fp1 {
+		t.Fatalf("second snapshot did not observe the merges")
+	}
+	if got, want := snapFingerprint(s2), relFingerprint(r); got != want {
+		t.Fatalf("snapshot diverges: got %s want %s", got, want)
+	}
+}
+
+// TestSnapshotUnchangedIsShared verifies the no-change fast path returns the
+// identical snapshot.
+func TestSnapshotUnchangedIsShared(t *testing.T) {
+	r := NewRelation[int64](ring.Int{}, NewSchema("A"))
+	r.Merge(Ints(1), 1)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if s1 != s2 {
+		t.Fatalf("snapshot without changes should be shared")
+	}
+	r.Merge(Ints(2), 1)
+	if s3 := r.Snapshot(); s3 == s2 {
+		t.Fatalf("snapshot after a change must be fresh")
+	}
+}
+
+// TestSnapshotScanPrefix exercises prefix scans: every group of a leading
+// variable must be contiguous and complete.
+func TestSnapshotScanPrefix(t *testing.T) {
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	want := map[int64]int{}
+	for a := int64(0); a < 30; a++ {
+		for b := int64(0); b < int64(1+a%7); b++ {
+			r.Merge(Ints(a, b), a*100+b+1)
+			want[a]++
+		}
+	}
+	s := r.Snapshot()
+	for a := int64(-1); a <= 30; a++ {
+		prefix := Tuple{Int(a)}.AppendKey(nil)
+		got := 0
+		s.ScanPrefix(prefix, func(e *Entry[int64]) bool {
+			if e.Tuple[0].AsInt() != a {
+				t.Fatalf("prefix scan for A=%d yielded tuple %v", a, e.Tuple)
+			}
+			got++
+			return true
+		})
+		if got != want[a] {
+			t.Fatalf("prefix scan A=%d: got %d entries, want %d", a, got, want[a])
+		}
+	}
+	// Empty prefix scans everything, in key order.
+	n := 0
+	last := ""
+	s.ScanPrefix(nil, func(e *Entry[int64]) bool {
+		if e.Key() <= last && n > 0 {
+			t.Fatalf("full scan out of order")
+		}
+		last = e.Key()
+		n++
+		return true
+	})
+	if n != r.Len() {
+		t.Fatalf("full scan visited %d of %d entries", n, r.Len())
+	}
+}
+
+// TestSnapshotAfterClear covers wholesale invalidation.
+func TestSnapshotAfterClear(t *testing.T) {
+	r := NewRelation[int64](ring.Int{}, NewSchema("A"))
+	for i := int64(0); i < 300; i++ {
+		r.Merge(Ints(i), i+1)
+	}
+	s1 := r.Snapshot()
+	r.Clear()
+	r.Merge(Ints(7), 9)
+	s2 := r.Snapshot()
+	if s1.Len() != 300 {
+		t.Fatalf("pinned snapshot lost entries after Clear: %d", s1.Len())
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("post-Clear snapshot has %d entries, want 1", s2.Len())
+	}
+	if p, ok := s2.Get(Ints(7)); !ok || p != 9 {
+		t.Fatalf("post-Clear snapshot Get = %d,%v", p, ok)
+	}
+}
+
+// TestSealSharesEntries checks the one-shot Seal path.
+func TestSealSharesEntries(t *testing.T) {
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	for i := int64(0); i < 200; i++ {
+		r.Merge(Ints(i%17, i), 1)
+	}
+	s := r.Seal()
+	if got, want := snapFingerprint(s), relFingerprint(r); got != want {
+		t.Fatalf("sealed snapshot diverges")
+	}
+	if p, ok := s.Get(Ints(3, 3)); !ok || p != 1 {
+		t.Fatalf("sealed Get = %d,%v", p, ok)
+	}
+}
+
+// BenchmarkSnapshotPublish measures the incremental publish cost: a large
+// relation with a small per-epoch change set.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	for i := int64(0); i < 100000; i++ {
+		r.Merge(Ints(i, i%97), 1)
+	}
+	r.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := int64(i % 1000)
+		for j := int64(0); j < 100; j++ {
+			r.Merge(Ints(base*100+j, j%97), 1)
+		}
+		r.Snapshot()
+	}
+}

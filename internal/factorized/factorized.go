@@ -247,6 +247,9 @@ func (r *Result) ViewCount() int {
 // order) until the callback returns false. For ListKeys and ListPayloads it
 // scans the listing; for FactPayloads it walks the factorization with
 // constant delay per tuple, multiplying out unions along the view tree.
+//
+// Enumerate reads the engines' live views and therefore must not race
+// ApplyDelta; concurrent enumeration pins an epoch first via Snapshot.
 func (r *Result) Enumerate(cb func(t data.Tuple) bool) {
 	switch {
 	case r.keysEng != nil:
@@ -265,7 +268,13 @@ func (r *Result) Enumerate(cb func(t data.Tuple) bool) {
 			return keep
 		})
 	default:
-		r.enumerateFactorized(cb)
+		enumerateFactorized(r.relEng.Tree(), r.Output, func(n *viewtree.Node, key data.Tuple) (*data.Multiset, bool) {
+			view := r.relEng.ViewOf(n)
+			if view == nil {
+				return nil, false
+			}
+			return view.Get(key)
+		}, cb)
 	}
 }
 
@@ -273,10 +282,9 @@ func (r *Result) Enumerate(cb func(t data.Tuple) bool) {
 // variables include output variables, the payload under the current key
 // supplies their values; children are then visited with the extended
 // context. Views marginalizing only bound variables contribute nothing to
-// tuples and are skipped.
-func (r *Result) enumerateFactorized(cb func(t data.Tuple) bool) {
-	root := r.relEng.Tree()
-	free := r.Output
+// tuples and are skipped. The view accessor abstracts over live views and
+// pinned snapshots.
+func enumerateFactorized(root *viewtree.Node, free data.Schema, view func(n *viewtree.Node, key data.Tuple) (*data.Multiset, bool), cb func(t data.Tuple) bool) {
 
 	// Collect, per node, whether its subtree contributes output variables.
 	contributes := make(map[*viewtree.Node]bool)
@@ -312,15 +320,11 @@ func (r *Result) enumerateFactorized(cb func(t data.Tuple) bool) {
 		}
 		n := nodes[0]
 		rest := nodes[1:]
-		view := r.relEng.ViewOf(n)
-		if view == nil {
-			return
-		}
 		key := make(data.Tuple, len(n.Keys))
 		for i, v := range n.Keys {
 			key[i] = ctx[v]
 		}
-		payload, ok := view.Get(key)
+		payload, ok := view(n, key)
 		if !ok {
 			return
 		}
@@ -353,4 +357,118 @@ func (r *Result) enumerateFactorized(cb func(t data.Tuple) bool) {
 			stop = true
 		}
 	})
+}
+
+// --- epoch-pinned snapshots ---------------------------------------------------
+
+// ResultSnapshot is an immutable, epoch-pinned view of a maintained
+// conjunctive query result: all counting and enumeration — including
+// constant-delay factorized enumeration for FactPayloads — runs against one
+// consistent published epoch, so it is safe from any goroutine while
+// maintenance keeps streaming.
+type ResultSnapshot struct {
+	// Mode and Output mirror the Result this snapshot was pinned from.
+	Mode   Mode
+	Output data.Schema
+
+	tree *viewtree.Node
+	keys *ivm.ViewSnapshot[int64]
+	rel  *ivm.ViewSnapshot[*data.Multiset]
+}
+
+// Snapshot pins the engine's current published epoch. The first call
+// enables snapshot publication and must come from the maintenance
+// goroutine (typically right after Init); afterwards Snapshot may be called
+// from any goroutine.
+func (r *Result) Snapshot() *ResultSnapshot {
+	s := &ResultSnapshot{Mode: r.Mode, Output: r.Output}
+	if r.keysEng != nil {
+		s.keys = r.keysEng.Snapshot()
+		return s
+	}
+	s.tree = r.relEng.Tree()
+	s.rel = r.relEng.Snapshot()
+	return s
+}
+
+// Epoch returns the pinned epoch number.
+func (s *ResultSnapshot) Epoch() uint64 {
+	if s.keys != nil {
+		return s.keys.Epoch
+	}
+	return s.rel.Epoch
+}
+
+// Count returns the total number of result tuples, with multiplicities, in
+// the pinned epoch.
+func (s *ResultSnapshot) Count() int64 {
+	var n int64
+	if s.keys != nil {
+		s.keys.Result().Iterate(func(_ data.Tuple, m int64) bool {
+			n += m
+			return true
+		})
+		return n
+	}
+	s.rel.Result().Iterate(func(_ data.Tuple, p *data.Multiset) bool {
+		n += p.TotalMult()
+		return true
+	})
+	return n
+}
+
+// DistinctCount returns the number of distinct result tuples in the pinned
+// epoch; for FactPayloads it enumerates the factorization.
+func (s *ResultSnapshot) DistinctCount() int64 {
+	switch {
+	case s.keys != nil:
+		return int64(s.keys.Result().Len())
+	case s.Mode == ListPayloads:
+		var n int64
+		s.rel.Result().Iterate(func(_ data.Tuple, p *data.Multiset) bool {
+			n += int64(p.Len())
+			return true
+		})
+		return n
+	default:
+		var n int64
+		s.Enumerate(func(data.Tuple) bool {
+			n++
+			return true
+		})
+		return n
+	}
+}
+
+// Enumerate visits every distinct result tuple of the pinned epoch (over
+// Output, in Output order) until the callback returns false; for
+// FactPayloads it walks the factorization distributed over the pinned view
+// snapshots with constant delay per tuple.
+func (s *ResultSnapshot) Enumerate(cb func(t data.Tuple) bool) {
+	switch {
+	case s.keys != nil:
+		res := s.keys.Result()
+		proj := data.MustProjector(res.Schema(), s.Output)
+		res.Iterate(func(t data.Tuple, _ int64) bool {
+			return cb(proj.Apply(t))
+		})
+	case s.Mode == ListPayloads:
+		s.rel.Result().Iterate(func(_ data.Tuple, p *data.Multiset) bool {
+			keep := true
+			proj := data.MustProjector(p.Schema(), s.Output)
+			p.Iterate(func(t data.Tuple, _ int64) bool {
+				keep = cb(proj.Apply(t))
+				return keep
+			})
+			return keep
+		})
+	default:
+		enumerateFactorized(s.tree, s.Output, func(n *viewtree.Node, key data.Tuple) (*data.Multiset, bool) {
+			view := s.rel.ViewOf(n)
+			if view == nil {
+				return nil, false
+			}
+			return view.Get(key)
+		}, cb)
+	}
 }

@@ -84,35 +84,39 @@ func coalesceBatch[P any](batch []NamedDelta[P]) []NamedDelta[P] {
 // ApplyDeltas maintains the result under a batch of updates to any mix of
 // relations. Deltas to the same relation are merged and each affected
 // leaf-to-root plan is traversed once, so a batch of k single-tuple updates
-// to one relation costs one propagation instead of k.
+// to one relation costs one propagation instead of k. With publication
+// enabled, one snapshot epoch is published for the whole batch.
 func (e *Engine[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 	for _, nd := range coalesceBatch(batch) {
-		if err := e.ApplyDelta(nd.Rel, nd.Delta); err != nil {
+		if err := e.applyDelta(nd.Rel, nd.Delta); err != nil {
 			return err
 		}
 	}
+	e.maybePublish()
 	return nil
 }
 
 // ApplyDeltas evaluates one first-order delta query per distinct relation in
-// the batch.
+// the batch, publishing one snapshot epoch for the whole batch.
 func (m *FirstOrder[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 	for _, nd := range coalesceBatch(batch) {
-		if err := m.ApplyDelta(nd.Rel, nd.Delta); err != nil {
+		if err := m.applyDelta(nd.Rel, nd.Delta); err != nil {
 			return err
 		}
 	}
+	m.maybePublish()
 	return nil
 }
 
 // ApplyDeltas maintains every affected view hierarchy once per distinct
-// relation in the batch.
+// relation in the batch, publishing one snapshot epoch for the whole batch.
 func (m *Recursive[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 	for _, nd := range coalesceBatch(batch) {
-		if err := m.ApplyDelta(nd.Rel, nd.Delta); err != nil {
+		if err := m.applyDelta(nd.Rel, nd.Delta); err != nil {
 			return err
 		}
 	}
+	m.maybePublish()
 	return nil
 }
 
@@ -131,6 +135,7 @@ func (m *ReEval[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 		}
 	}
 	m.result = evalTree(m.root, m.q, m.ring, m.lift, m.bases)
+	m.maybePublish()
 	return nil
 }
 
@@ -149,22 +154,25 @@ func (m *NaiveReEval[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 		}
 	}
 	m.result = m.recompute()
+	m.maybePublish()
 	return nil
 }
 
 // ApplyDeltas recomputes each aggregate's delta query once per distinct
-// relation in the batch.
+// relation in the batch, publishing one snapshot epoch for the whole batch.
 func (m *MultiFirstOrder) ApplyDeltas(batch []NamedDelta[float64]) error {
 	for _, nd := range coalesceBatch(batch) {
-		if err := m.ApplyDelta(nd.Rel, nd.Delta); err != nil {
+		if err := m.applyDelta(nd.Rel, nd.Delta); err != nil {
 			return err
 		}
 	}
+	m.maybePublish()
 	return nil
 }
 
 // ApplyDeltas coalesces the batch once and drives every per-aggregate
-// hierarchy with the merged deltas.
+// hierarchy with the merged deltas, publishing one snapshot epoch for the
+// whole batch.
 func (m *MultiRecursive) ApplyDeltas(batch []NamedDelta[float64]) error {
 	batch = coalesceBatch(batch)
 	for _, inst := range m.instances {
@@ -174,5 +182,6 @@ func (m *MultiRecursive) ApplyDeltas(batch []NamedDelta[float64]) error {
 			}
 		}
 	}
+	m.maybePublish()
 	return nil
 }

@@ -30,8 +30,19 @@ type Maintainer[P any] interface {
 	// of relations, equivalent to applying them in order via ApplyDelta but
 	// traversing each maintenance path once per batch.
 	ApplyDeltas(batch []NamedDelta[P]) error
-	// Result returns the maintained query result.
+	// Result returns the maintained query result as a live handle: the
+	// relation the strategy keeps updating in place. It is NOT safe to read
+	// while another goroutine runs ApplyDelta/ApplyDeltas, and reads
+	// interleaved with updates on one goroutine may observe each batch's
+	// effects only as a whole. Concurrent or consistent readers must go
+	// through Snapshot.
 	Result() *data.Relation[P]
+	// Snapshot returns the latest published consistent snapshot: the state
+	// after some whole applied batch, never mid-batch. The first call
+	// enables publication and must come from the maintenance goroutine
+	// (typically right after Init); afterwards every applied batch
+	// publishes a fresh epoch and Snapshot is safe from any goroutine.
+	Snapshot() *ViewSnapshot[P]
 	// ViewCount reports how many views the strategy materializes.
 	ViewCount() int
 	// MemoryBytes estimates the bytes held by materialized state.
@@ -102,6 +113,10 @@ type Engine[P any] struct {
 	mat       map[*viewtree.Node]bool
 	views     map[*viewtree.Node]*data.IndexedRelation[P]
 	plans     map[*viewtree.Node]*deltaPlan[P]
+	// snapshot catalog: stable view names and the epoch publisher.
+	names  map[*viewtree.Node]string
+	byName map[string]*viewtree.Node
+	pub    publisher[P]
 	// indicator machinery
 	indLeaves map[string][]*viewtree.Node // base relation -> indicator leaves
 	trackers  map[*viewtree.Node]*viewtree.IndicatorTracker
@@ -218,6 +233,8 @@ func (e *Engine[P]) plan(o *vorder.Order) error {
 	}
 
 	e.mat = e.materialization()
+	e.nameViews()
+	e.pub.invalidateNames()
 	// Build delta plans for every leaf that can emit deltas.
 	for _, leaf := range root.Leaves() {
 		if !e.updatable[leaf.Rel] {
@@ -307,7 +324,10 @@ func (e *Engine[P]) Tree() *viewtree.Node { return e.root }
 // Materialized reports whether a view is materialized.
 func (e *Engine[P]) Materialized(n *viewtree.Node) bool { return e.mat[n] }
 
-// ViewOf returns the materialized contents of a view, or nil.
+// ViewOf returns the materialized contents of a view, or nil. The returned
+// relation is a live handle that delta propagation keeps mutating: it is not
+// safe to read while another goroutine applies deltas. Concurrent readers
+// must pin an epoch via Snapshot and read ViewSnapshot.ViewOf / View.
 func (e *Engine[P]) ViewOf(n *viewtree.Node) *data.Relation[P] {
 	if v, ok := e.views[n]; ok {
 		return v.Relation
@@ -471,7 +491,10 @@ func (e *Engine[P]) indicatorContents(leaf *viewtree.Node) *data.Relation[P] {
 	return out
 }
 
-// Result returns the root view: the maintained query result.
+// Result returns the root view: the maintained query result, as a live
+// handle that updates mutate in place. It is not safe to read while another
+// goroutine applies deltas — concurrent readers must go through Snapshot
+// (or a serve.Reader pinned on one).
 func (e *Engine[P]) Result() *data.Relation[P] {
 	if v, ok := e.views[e.root]; ok {
 		return v.Relation
@@ -518,8 +541,20 @@ func relationBytes[P any](r *data.Relation[P]) int {
 
 // ApplyDelta propagates an update to one relation along its leaf-to-root
 // path (Figure 4), maintaining every materialized view on the way, then
-// propagates any induced indicator deltas in sequence.
+// propagates any induced indicator deltas in sequence. The update counts as
+// one batch: with publication enabled, a fresh snapshot epoch is published
+// at the end.
 func (e *Engine[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
+	if err := e.applyDelta(rel, delta); err != nil {
+		return err
+	}
+	e.maybePublish()
+	return nil
+}
+
+// applyDelta is ApplyDelta without the per-batch snapshot publication, so
+// batched updates publish once per batch instead of once per relation.
+func (e *Engine[P]) applyDelta(rel string, delta *data.Relation[P]) error {
 	if !e.ready {
 		return fmt.Errorf("ivm: ApplyDelta before Init")
 	}

@@ -23,6 +23,7 @@ type FirstOrder[P any] struct {
 	root   *viewtree.Node
 	bases  map[string]*data.Relation[P]
 	result *data.Relation[P]
+	pub    publisher[P]
 }
 
 // NewFirstOrder builds a first-order IVM maintainer over the given variable
@@ -54,6 +55,15 @@ func (m *FirstOrder[P]) Init() error {
 // updated relation replaced by the delta — over the stored base relations,
 // merges it into the result, and then merges the delta into the base.
 func (m *FirstOrder[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
+	if err := m.applyDelta(rel, delta); err != nil {
+		return err
+	}
+	m.maybePublish()
+	return nil
+}
+
+// applyDelta is ApplyDelta without the per-batch snapshot publication.
+func (m *FirstOrder[P]) applyDelta(rel string, delta *data.Relation[P]) error {
 	rd, ok := m.q.Rel(rel)
 	if !ok {
 		return fmt.Errorf("ivm: unknown relation %q", rel)
@@ -80,7 +90,8 @@ func (m *FirstOrder[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
 	return nil
 }
 
-// Result returns the maintained query result.
+// Result returns the maintained query result as a live handle; see the
+// Maintainer contract — concurrent readers must go through Snapshot.
 func (m *FirstOrder[P]) Result() *data.Relation[P] {
 	if m.result == nil {
 		return data.NewRelation(m.ring, m.root.Keys)

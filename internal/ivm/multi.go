@@ -61,6 +61,7 @@ type MultiFirstOrder struct {
 	specs   []AggSpec
 	bases   map[string]*data.Relation[float64]
 	results []*data.Relation[float64]
+	pub     publisher[float64]
 }
 
 // NewMultiFirstOrder builds a per-aggregate first-order maintainer.
@@ -99,6 +100,15 @@ func (m *MultiFirstOrder) Init() error {
 // ApplyDelta recomputes one delta query per aggregate and merges each into
 // its result, then updates the shared base copy.
 func (m *MultiFirstOrder) ApplyDelta(rel string, delta *data.Relation[float64]) error {
+	if err := m.applyDelta(rel, delta); err != nil {
+		return err
+	}
+	m.maybePublish()
+	return nil
+}
+
+// applyDelta is ApplyDelta without the per-batch snapshot publication.
+func (m *MultiFirstOrder) applyDelta(rel string, delta *data.Relation[float64]) error {
 	rd, ok := m.q.Rel(rel)
 	if !ok {
 		return fmt.Errorf("ivm: unknown relation %q", rel)
@@ -156,6 +166,7 @@ func (m *MultiFirstOrder) MemoryBytes() int {
 type MultiRecursive struct {
 	q         query.Query
 	instances []*Recursive[float64]
+	pub       publisher[float64]
 }
 
 // NewMultiRecursive builds one recursive hierarchy per aggregate.
@@ -198,6 +209,7 @@ func (m *MultiRecursive) ApplyDelta(rel string, delta *data.Relation[float64]) e
 			return err
 		}
 	}
+	m.maybePublish()
 	return nil
 }
 

@@ -19,6 +19,10 @@ type NaiveReEval[P any] struct {
 	lift   data.LiftFunc[P]
 	bases  map[string]*data.Relation[P]
 	result *data.Relation[P]
+	pub    publisher[P]
+	// seal caches the snapshot of the current result relation, which is
+	// replaced (never mutated) by each recomputation.
+	seal sealCache[P]
 }
 
 // NewNaiveReEval builds the naive re-evaluation maintainer.
@@ -80,10 +84,12 @@ func (m *NaiveReEval[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
 		return err
 	}
 	m.result = m.recompute()
+	m.maybePublish()
 	return nil
 }
 
-// Result returns the last computed result.
+// Result returns the last computed result as a live handle; see the
+// Maintainer contract — concurrent readers must go through Snapshot.
 func (m *NaiveReEval[P]) Result() *data.Relation[P] {
 	if m.result == nil {
 		return data.NewRelation(m.ring, m.q.Free)

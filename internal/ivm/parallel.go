@@ -57,6 +57,11 @@ type Parallel[P any] struct {
 	// partitioned deltas through the Sharded routing relations, broadcast
 	// deltas directly. Router-owned (same goroutine as ApplyDeltas).
 	stats *data.Stats
+
+	// pub publishes the key-wise reduced result after each batch once
+	// serving is enabled (sharded mode only; the sequential fallback
+	// delegates to its inner maintainer's publisher).
+	pub publisher[P]
 }
 
 // CollectStats attaches a statistics collector to the router: every delta
@@ -338,14 +343,23 @@ func (p *Parallel[P]) ApplyDeltas(batch []NamedDelta[P]) error {
 		}
 	}
 	if len(work) == 0 {
+		p.maybePublish()
 		return nil
 	}
-	return p.dispatch(work, func(s int) error { return p.shards[s].ApplyDeltas(p.batches[s]) })
+	if err := p.dispatch(work, func(s int) error { return p.shards[s].ApplyDeltas(p.batches[s]) }); err != nil {
+		return err
+	}
+	// Publication happens after the cross-shard barrier, on the routing
+	// goroutine: the epoch reflects the whole batch across every shard.
+	p.maybePublish()
+	return nil
 }
 
 // Result merges the shard results key-wise: the disjoint union of shard
 // outputs when the shard variable is free, the payload sum when it is
-// aggregated away.
+// aggregated away. The merge reads every shard's live result, so it must
+// not race ApplyDeltas; concurrent readers go through Snapshot, which
+// publishes the reduction after each batch.
 func (p *Parallel[P]) Result() *data.Relation[P] {
 	if !p.Sharded() {
 		return p.shards[0].Result()

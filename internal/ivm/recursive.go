@@ -31,6 +31,7 @@ type Recursive[P any] struct {
 
 	bases map[string]*data.Relation[P]
 	ready bool
+	pub   publisher[P]
 
 	// Reusable scratch for viewDelta (single-threaded per maintainer).
 	items, spare []workItem[P]
@@ -275,6 +276,15 @@ func (m *Recursive[P]) Init() error {
 // relation. Component views never contain the updated relation, so each
 // affected view's delta can be computed and merged independently.
 func (m *Recursive[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
+	if err := m.applyDelta(rel, delta); err != nil {
+		return err
+	}
+	m.maybePublish()
+	return nil
+}
+
+// applyDelta is ApplyDelta without the per-batch snapshot publication.
+func (m *Recursive[P]) applyDelta(rel string, delta *data.Relation[P]) error {
 	if !m.ready {
 		return fmt.Errorf("ivm: ApplyDelta before Init")
 	}
@@ -358,7 +368,8 @@ func (m *Recursive[P]) viewDelta(v *recView[P], rel string, rd query.RelDef, del
 	return out
 }
 
-// Result returns the root view.
+// Result returns the root view as a live handle; see the Maintainer
+// contract — concurrent readers must go through Snapshot.
 func (m *Recursive[P]) Result() *data.Relation[P] { return m.root.rel.Relation }
 
 // ViewCount reports the number of materialized views in the hierarchy.

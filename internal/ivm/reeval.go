@@ -22,6 +22,10 @@ type ReEval[P any] struct {
 	root   *viewtree.Node
 	bases  map[string]*data.Relation[P]
 	result *data.Relation[P]
+	pub    publisher[P]
+	// seal caches the snapshot of the current result relation, which is
+	// replaced (never mutated) by each recomputation.
+	seal sealCache[P]
 }
 
 // NewReEval builds a re-evaluation maintainer over the given variable order.
@@ -74,10 +78,12 @@ func (m *ReEval[P]) ApplyDelta(rel string, delta *data.Relation[P]) error {
 		return err
 	}
 	m.result = evalTree(m.root, m.q, m.ring, m.lift, m.bases)
+	m.maybePublish()
 	return nil
 }
 
-// Result returns the last computed query result.
+// Result returns the last computed query result as a live handle; see the
+// Maintainer contract — concurrent readers must go through Snapshot.
 func (m *ReEval[P]) Result() *data.Relation[P] {
 	if m.result == nil {
 		return data.NewRelation(m.ring, m.root.Keys)

@@ -1,0 +1,424 @@
+package ivm
+
+import (
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"fivm/internal/data"
+	"fivm/internal/viewtree"
+)
+
+// ViewSnapshot is one published epoch of a maintainer's state: an immutable,
+// mutually consistent set of relation snapshots — the query result plus a
+// named catalog of the materialized views — taken after some whole applied
+// batch, never mid-batch. Snapshots are published with a single atomic
+// pointer swap, so any number of reader goroutines can pin an epoch and read
+// it lock-free while maintenance keeps streaming; see internal/serve for
+// reader handles.
+type ViewSnapshot[P any] struct {
+	// Epoch counts published snapshots: 0 at enablement, +1 per applied
+	// batch. Within one maintainer it is strictly monotonic.
+	Epoch uint64
+	// At is the publication wall time, the reference point of the
+	// freshness-lag metric (time.Since(s.At) bounds a reader's staleness).
+	At time.Time
+
+	result *data.RelationSnapshot[P]
+	views  map[string]*data.RelationSnapshot[P]
+	byNode map[*viewtree.Node]*data.RelationSnapshot[P]
+	names  []string
+}
+
+// Result returns the snapshot of the maintained query result.
+func (s *ViewSnapshot[P]) Result() *data.RelationSnapshot[P] { return s.result }
+
+// View returns the snapshot of the named materialized view, or nil. Names
+// come from the maintainer's catalog (ViewNames).
+func (s *ViewSnapshot[P]) View(name string) *data.RelationSnapshot[P] { return s.views[name] }
+
+// Views returns the sorted catalog of view names in this snapshot.
+func (s *ViewSnapshot[P]) Views() []string { return s.names }
+
+// ViewOf returns the snapshot of a view-tree node's materialization, or nil.
+// Only engine-published snapshots carry the node catalog; the factorized
+// result representation enumerates through it.
+func (s *ViewSnapshot[P]) ViewOf(n *viewtree.Node) *data.RelationSnapshot[P] { return s.byNode[n] }
+
+// publisher is the epoch machinery every maintainer embeds: an atomic
+// pointer to the latest published snapshot. A nil pointer means publication
+// is not enabled; the first Snapshot call on a maintainer enables it.
+//
+// The publication contract, shared by every maintainer:
+//
+//   - The first Snapshot call must not race ApplyDelta/ApplyDeltas: call it
+//     once from the maintenance goroutine (typically right after Init) to
+//     enable publication.
+//   - Once enabled, the maintainer publishes a fresh epoch at the end of
+//     every ApplyDelta/ApplyDeltas call, and Snapshot may be called from any
+//     goroutine: it is a single atomic load.
+//   - Maintainers that were never asked for a Snapshot pay nothing on the
+//     maintenance path beyond one atomic load per applied batch.
+type publisher[P any] struct {
+	cur atomic.Pointer[ViewSnapshot[P]]
+	// names caches the sorted catalog across epochs (the catalog only
+	// changes when views appear or a replan renames them); maintainers
+	// whose catalog changed call invalidateNames, and a length mismatch
+	// invalidates automatically.
+	names []string
+}
+
+// enabled reports whether publication has been switched on.
+func (p *publisher[P]) enabled() bool { return p.cur.Load() != nil }
+
+// invalidateNames drops the cached catalog, forcing the next publish to
+// rebuild it (engine replans rename views without changing their count).
+func (p *publisher[P]) invalidateNames() { p.names = nil }
+
+// publish installs the next epoch and returns it.
+func (p *publisher[P]) publish(result *data.RelationSnapshot[P], views map[string]*data.RelationSnapshot[P], byNode map[*viewtree.Node]*data.RelationSnapshot[P]) *ViewSnapshot[P] {
+	var epoch uint64
+	if prev := p.cur.Load(); prev != nil {
+		epoch = prev.Epoch + 1
+	}
+	if len(p.names) != len(views) {
+		names := make([]string, 0, len(views))
+		for name := range views {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		p.names = names
+	}
+	s := &ViewSnapshot[P]{Epoch: epoch, At: time.Now(), result: result, views: views, byNode: byNode, names: p.names}
+	p.cur.Store(s)
+	return s
+}
+
+// basesViews snapshots every stored base relation into a fresh catalog map
+// with room for the result view.
+func basesViews[P any](bases map[string]*data.Relation[P]) map[string]*data.RelationSnapshot[P] {
+	views := make(map[string]*data.RelationSnapshot[P], len(bases)+1)
+	for rel, b := range bases {
+		views[rel] = b.Snapshot()
+	}
+	return views
+}
+
+// putResult adds the result snapshot to the catalog under the query's name,
+// suffixing "#result" when a base relation already claims that name (a
+// query may legally share its name with one of its relations).
+func putResult[P any](views map[string]*data.RelationSnapshot[P], name string, res *data.RelationSnapshot[P]) {
+	for {
+		if _, taken := views[name]; !taken {
+			views[name] = res
+			return
+		}
+		name += "#result"
+	}
+}
+
+// sealCache memoizes the sealed snapshot of a result relation that is
+// replaced (never mutated) per recomputation, keyed by relation identity.
+type sealCache[P any] struct {
+	from *data.Relation[P]
+	snap *data.RelationSnapshot[P]
+}
+
+func (c *sealCache[P]) of(r *data.Relation[P]) *data.RelationSnapshot[P] {
+	if c.from != r {
+		c.snap = r.Seal()
+		c.from = r
+	}
+	return c.snap
+}
+
+// --- engine ------------------------------------------------------------------
+
+// Snapshot returns the latest published consistent snapshot of the engine's
+// materialized views, enabling publication on first use (see publisher for
+// the concurrency contract).
+func (e *Engine[P]) Snapshot() *ViewSnapshot[P] {
+	if s := e.pub.cur.Load(); s != nil {
+		return s
+	}
+	return e.publishSnapshot()
+}
+
+// maybePublish publishes a fresh epoch if serving is enabled; maintainers
+// call it exactly once at the end of every applied batch.
+func (e *Engine[P]) maybePublish() {
+	if e.pub.enabled() {
+		e.publishSnapshot()
+	}
+}
+
+// publishSnapshot snapshots every materialized view (O(changed keys) per
+// view via relation dirty tracking) and swaps in the new epoch.
+func (e *Engine[P]) publishSnapshot() *ViewSnapshot[P] {
+	views := make(map[string]*data.RelationSnapshot[P], len(e.views))
+	byNode := make(map[*viewtree.Node]*data.RelationSnapshot[P], len(e.views))
+	for node, ir := range e.views {
+		s := ir.Snapshot()
+		views[e.names[node]] = s
+		byNode[node] = s
+	}
+	result := byNode[e.root]
+	if result == nil {
+		// Snapshot before Init (or of an engine whose root was never built):
+		// an empty result, so readers see a well-formed epoch.
+		result = data.NewRelation(e.ring, e.root.Keys).Seal()
+	}
+	return e.pub.publish(result, views, byNode)
+}
+
+// nameViews assigns every view-tree node its catalog name — Node.Name, made
+// unique with a numeric suffix in the (not expected) event of a collision —
+// and records the reverse map for ViewByName.
+func (e *Engine[P]) nameViews() {
+	e.names = make(map[*viewtree.Node]string)
+	e.byName = make(map[string]*viewtree.Node)
+	e.root.Walk(func(n *viewtree.Node) {
+		name := n.Name()
+		if _, taken := e.byName[name]; taken {
+			base := name
+			for i := 2; ; i++ {
+				name = base + "#" + strconv.Itoa(i)
+				if _, taken := e.byName[name]; !taken {
+					break
+				}
+			}
+		}
+		e.names[n] = name
+		e.byName[name] = n
+	})
+}
+
+// ViewNames returns the catalog of view names the engine materializes, in
+// sorted order. Every name resolves through ViewByName and appears in every
+// published ViewSnapshot.
+func (e *Engine[P]) ViewNames() []string {
+	out := make([]string, 0, len(e.views))
+	for node := range e.views {
+		out = append(out, e.names[node])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewByName returns the live materialized relation of the named view
+// (Node.Name form, e.g. "V@C[A,B]" or a leaf's relation name), or nil if
+// the name is unknown or the view is not materialized. Like Result and
+// ViewOf, the returned relation is a live handle — use Snapshot().View(name)
+// for a consistent, concurrency-safe read.
+func (e *Engine[P]) ViewByName(name string) *data.Relation[P] {
+	node, ok := e.byName[name]
+	if !ok {
+		return nil
+	}
+	return e.ViewOf(node)
+}
+
+// --- first-order -------------------------------------------------------------
+
+// Snapshot returns the latest published snapshot: the maintained result
+// under the query's name plus the stored base relations under theirs. See
+// publisher for the concurrency contract.
+func (m *FirstOrder[P]) Snapshot() *ViewSnapshot[P] {
+	if s := m.pub.cur.Load(); s != nil {
+		return s
+	}
+	return m.publishSnapshot()
+}
+
+func (m *FirstOrder[P]) maybePublish() {
+	if m.pub.enabled() {
+		m.publishSnapshot()
+	}
+}
+
+func (m *FirstOrder[P]) publishSnapshot() *ViewSnapshot[P] {
+	views := basesViews(m.bases)
+	var res *data.RelationSnapshot[P]
+	if m.result != nil {
+		res = m.result.Snapshot()
+	} else {
+		res = data.NewRelation(m.ring, m.root.Keys).Seal()
+	}
+	putResult(views, m.q.Name, res)
+	return m.pub.publish(res, views, nil)
+}
+
+// --- recursive ---------------------------------------------------------------
+
+// Snapshot returns the latest published snapshot: every view of the
+// recursive hierarchy under its signature name, the root as the result. See
+// publisher for the concurrency contract.
+func (m *Recursive[P]) Snapshot() *ViewSnapshot[P] {
+	if s := m.pub.cur.Load(); s != nil {
+		return s
+	}
+	return m.publishSnapshot()
+}
+
+func (m *Recursive[P]) maybePublish() {
+	if m.pub.enabled() {
+		m.publishSnapshot()
+	}
+}
+
+func (m *Recursive[P]) publishSnapshot() *ViewSnapshot[P] {
+	views := make(map[string]*data.RelationSnapshot[P], len(m.order))
+	for _, v := range m.order {
+		views[v.sig] = v.rel.Snapshot()
+	}
+	return m.pub.publish(views[m.root.sig], views, nil)
+}
+
+// --- re-evaluation -----------------------------------------------------------
+
+// Snapshot returns the latest published snapshot. The result is recomputed
+// wholesale per batch, so its snapshot is sealed from each fresh result
+// relation; the stored bases snapshot incrementally. See publisher for the
+// concurrency contract.
+func (m *ReEval[P]) Snapshot() *ViewSnapshot[P] {
+	if s := m.pub.cur.Load(); s != nil {
+		return s
+	}
+	return m.publishSnapshot()
+}
+
+func (m *ReEval[P]) maybePublish() {
+	if m.pub.enabled() {
+		m.publishSnapshot()
+	}
+}
+
+func (m *ReEval[P]) publishSnapshot() *ViewSnapshot[P] {
+	views := basesViews(m.bases)
+	var res *data.RelationSnapshot[P]
+	if m.result != nil {
+		// The result relation is replaced (never mutated) per batch, so the
+		// snapshot can share its entries; sealCache memoizes per pointer.
+		res = m.seal.of(m.result)
+	} else {
+		res = data.NewRelation(m.ring, m.root.Keys).Seal()
+	}
+	putResult(views, m.q.Name, res)
+	return m.pub.publish(res, views, nil)
+}
+
+// Snapshot returns the latest published snapshot; like ReEval, the result is
+// sealed per recomputation. See publisher for the concurrency contract.
+func (m *NaiveReEval[P]) Snapshot() *ViewSnapshot[P] {
+	if s := m.pub.cur.Load(); s != nil {
+		return s
+	}
+	return m.publishSnapshot()
+}
+
+func (m *NaiveReEval[P]) maybePublish() {
+	if m.pub.enabled() {
+		m.publishSnapshot()
+	}
+}
+
+func (m *NaiveReEval[P]) publishSnapshot() *ViewSnapshot[P] {
+	views := basesViews(m.bases)
+	var res *data.RelationSnapshot[P]
+	if m.result != nil {
+		res = m.seal.of(m.result)
+	} else {
+		res = data.NewRelation(m.ring, m.q.Free).Seal()
+	}
+	putResult(views, m.q.Name, res)
+	return m.pub.publish(res, views, nil)
+}
+
+// --- scalar multi-aggregate maintainers --------------------------------------
+
+// aggName names the i-th scalar aggregate view in multi-aggregate catalogs.
+func aggName(i int) string { return "agg" + strconv.Itoa(i) }
+
+// Snapshot returns the latest published snapshot: one view per scalar
+// aggregate ("agg0", "agg1", ...) plus the shared bases, with the count
+// aggregate as the result. See publisher for the concurrency contract.
+func (m *MultiFirstOrder) Snapshot() *ViewSnapshot[float64] {
+	if s := m.pub.cur.Load(); s != nil {
+		return s
+	}
+	return m.publishSnapshot()
+}
+
+func (m *MultiFirstOrder) maybePublish() {
+	if m.pub.enabled() {
+		m.publishSnapshot()
+	}
+}
+
+func (m *MultiFirstOrder) publishSnapshot() *ViewSnapshot[float64] {
+	views := make(map[string]*data.RelationSnapshot[float64], len(m.results)+len(m.bases))
+	for rel, b := range m.bases {
+		views[rel] = b.Snapshot()
+	}
+	for i, r := range m.results {
+		views[aggName(i)] = r.Snapshot()
+	}
+	res := views[aggName(0)]
+	if res == nil {
+		res = m.Result().Seal()
+	}
+	return m.pub.publish(res, views, nil)
+}
+
+// Snapshot returns the latest published snapshot: one view per scalar
+// aggregate hierarchy root. See publisher for the concurrency contract.
+func (m *MultiRecursive) Snapshot() *ViewSnapshot[float64] {
+	if s := m.pub.cur.Load(); s != nil {
+		return s
+	}
+	return m.publishSnapshot()
+}
+
+func (m *MultiRecursive) maybePublish() {
+	if m.pub.enabled() {
+		m.publishSnapshot()
+	}
+}
+
+func (m *MultiRecursive) publishSnapshot() *ViewSnapshot[float64] {
+	views := make(map[string]*data.RelationSnapshot[float64], len(m.instances))
+	for i, inst := range m.instances {
+		views[aggName(i)] = inst.root.rel.Snapshot()
+	}
+	return m.pub.publish(views[aggName(0)], views, nil)
+}
+
+// --- parallel ----------------------------------------------------------------
+
+// Snapshot returns the latest published snapshot. A sharded maintainer
+// reduces the shard results key-wise after each batch and seals the reduced
+// relation — shard-local views are per-shard state and are not cataloged;
+// the sequential fallback delegates to its inner maintainer. See publisher
+// for the concurrency contract.
+func (p *Parallel[P]) Snapshot() *ViewSnapshot[P] {
+	if !p.Sharded() {
+		return p.shards[0].Snapshot()
+	}
+	if s := p.pub.cur.Load(); s != nil {
+		return s
+	}
+	return p.publishSnapshot()
+}
+
+func (p *Parallel[P]) maybePublish() {
+	if p.pub.enabled() {
+		p.publishSnapshot()
+	}
+}
+
+func (p *Parallel[P]) publishSnapshot() *ViewSnapshot[P] {
+	res := p.Result().Seal()
+	views := map[string]*data.RelationSnapshot[P]{p.q.Name: res}
+	return p.pub.publish(res, views, nil)
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"fivm/internal/data"
+	"fivm/internal/ivm"
+	"fivm/internal/query"
+	"fivm/internal/ring"
+	"fivm/internal/vorder"
+)
+
+// testEngine builds a small F-IVM engine over R(A,B) ⋈ S(A,C) with free
+// [A, B], loaded with a few tuples.
+func testEngine(t *testing.T) *ivm.Engine[int64] {
+	t.Helper()
+	q := query.MustNew("Q", data.NewSchema("A", "B"),
+		query.RelDef{Name: "R", Schema: data.NewSchema("A", "B")},
+		query.RelDef{Name: "S", Schema: data.NewSchema("A", "C")})
+	o, err := vorder.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ivm.New[int64](q, o, ring.Int{}, func(string, data.Value) int64 { return 1 }, ivm.Options[int64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := data.NewRelation[int64](ring.Int{}, data.NewSchema("A", "B"))
+	s := data.NewRelation[int64](ring.Int{}, data.NewSchema("A", "C"))
+	for a := int64(0); a < 4; a++ {
+		for b := int64(0); b < 3; b++ {
+			r.Merge(data.Ints(a, b), 1)
+		}
+		s.Merge(data.Ints(a, a*10), 1)
+	}
+	must(t, eng.Load("R", r))
+	must(t, eng.Load("S", s))
+	must(t, eng.Init())
+	return eng
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func delta(schema data.Schema, tuples ...data.Tuple) *data.Relation[int64] {
+	d := data.NewRelation[int64](ring.Int{}, schema)
+	for _, tu := range tuples {
+		d.Merge(tu, 1)
+	}
+	return d
+}
+
+// TestReaderPinsEpoch: a pinned reader keeps observing its epoch while the
+// maintainer advances; Refresh moves it forward, never backwards.
+func TestReaderPinsEpoch(t *testing.T) {
+	eng := testEngine(t)
+	rd := NewReader[int64](eng)
+	if rd.Epoch() != 0 {
+		t.Fatalf("initial epoch = %d, want 0", rd.Epoch())
+	}
+	before, ok := rd.Lookup(data.Ints(1, 1))
+	if !ok || before != 1 {
+		t.Fatalf("Lookup(1,1) = %d,%v want 1,true", before, ok)
+	}
+
+	// Apply a batch that doubles (1,1)'s multiplicity through R.
+	must(t, eng.ApplyDelta("R", delta(data.NewSchema("A", "B"), data.Ints(1, 1))))
+
+	// The pinned reader still sees the old state.
+	if p, _ := rd.Lookup(data.Ints(1, 1)); p != 1 {
+		t.Fatalf("pinned reader saw new state: %d", p)
+	}
+	if !rd.Refresh() {
+		t.Fatalf("Refresh did not advance")
+	}
+	if rd.Epoch() != 1 {
+		t.Fatalf("epoch after refresh = %d, want 1", rd.Epoch())
+	}
+	if p, _ := rd.Lookup(data.Ints(1, 1)); p != 2 {
+		t.Fatalf("refreshed reader Lookup = %d, want 2", p)
+	}
+	if rd.Refresh() {
+		t.Fatalf("Refresh advanced without a new batch")
+	}
+}
+
+// TestReaderScanPrefix: ordered prefix scans over the result's leading
+// group-by variable.
+func TestReaderScanPrefix(t *testing.T) {
+	eng := testEngine(t)
+	rd := NewReader[int64](eng)
+	got := map[string]int64{}
+	rd.Scan(data.Ints(2), func(tu data.Tuple, p int64) bool {
+		if tu[0].AsInt() != 2 {
+			t.Fatalf("scan A=2 yielded %v", tu)
+		}
+		got[tu.Key()] = p
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("scan A=2 visited %d groups, want 3", len(got))
+	}
+	// Empty prefix = full result scan.
+	n := 0
+	rd.Scan(nil, func(data.Tuple, int64) bool { n++; return true })
+	if n != rd.Len() || n != 12 {
+		t.Fatalf("full scan visited %d, Len=%d, want 12", n, rd.Len())
+	}
+}
+
+// TestReaderViewCatalog: every cataloged view is readable through the
+// snapshot and matches the engine's live view after quiescence; ViewByName
+// resolves the same names live.
+func TestReaderViewCatalog(t *testing.T) {
+	eng := testEngine(t)
+	rd := NewReader[int64](eng)
+	names := rd.Views()
+	if len(names) == 0 {
+		t.Fatalf("empty view catalog")
+	}
+	if got, want := fmt.Sprint(names), fmt.Sprint(eng.ViewNames()); got != want {
+		t.Fatalf("snapshot catalog %v != engine catalog %v", got, want)
+	}
+	for _, name := range names {
+		snap := rd.View(name)
+		live := eng.ViewByName(name)
+		if snap == nil || live == nil {
+			t.Fatalf("view %q: snapshot=%v live=%v", name, snap, live)
+		}
+		if snap.Len() != live.Len() {
+			t.Fatalf("view %q: snapshot Len %d != live Len %d", name, snap.Len(), live.Len())
+		}
+		snap.Iterate(func(tu data.Tuple, p int64) bool {
+			if lp, ok := live.Get(tu); !ok || lp != p {
+				t.Fatalf("view %q: tuple %v snapshot=%d live=%d,%v", name, tu, p, lp, ok)
+			}
+			return true
+		})
+	}
+	if eng.ViewByName("no-such-view") != nil {
+		t.Fatalf("ViewByName of unknown name is non-nil")
+	}
+	if rd.View("no-such-view") != nil {
+		t.Fatalf("View of unknown name is non-nil")
+	}
+}
+
+// TestReaderLookupView: point lookups against every cataloged view agree
+// with the view's own iteration.
+func TestReaderLookupView(t *testing.T) {
+	eng := testEngine(t)
+	rd := NewReader[int64](eng)
+	checked := 0
+	for _, name := range rd.Views() {
+		rd.View(name).Iterate(func(tu data.Tuple, want int64) bool {
+			got, ok := rd.LookupView(name, tu)
+			if !ok || got != want {
+				t.Fatalf("LookupView(%s, %v) = %d,%v want %d", name, tu, got, ok, want)
+			}
+			checked++
+			return true
+		})
+	}
+	if checked == 0 {
+		t.Fatalf("no view entries checked; catalog %v", rd.Views())
+	}
+	if _, ok := rd.LookupView("no-such-view", data.Ints(0)); ok {
+		t.Fatalf("LookupView on unknown view reported ok")
+	}
+}
