@@ -42,6 +42,11 @@ Experiments (paper artifact each regenerates):
                       materialization decisions
   views               print a dataset's view tree and materialization
   sql "SELECT ..."    maintain an ad-hoc query over a dataset's stream
+  repl                interactive DB session over a dataset: CREATE VIEW /
+                      DROP VIEW / one-shot SELECT, with .play to stream
+                      update batches into every registered view at once
+  multiview           shared-ingest DB vs N separate engines over one
+                      stream (-views N concurrent views)
   all                 everything above at default scale
 
 Flags:
@@ -65,6 +70,7 @@ func main() {
 	scale := fs.Int("scale", 1, "dataset scale multiplier")
 	noScalar := fs.Bool("no-scalar", false, "skip the per-aggregate scalar competitors (DBT, 1-IVM)")
 	autoOrder := fs.Bool("auto-order", false, "let the cost-based optimizer choose variable orders (fig7, fig13, explain) instead of the handpicked ones")
+	views := fs.Int("views", 4, "concurrent views for the multiview experiment")
 	fs.Parse(os.Args[2:])
 
 	retailer := datasets.DefaultRetailer()
@@ -169,6 +175,20 @@ func main() {
 		ds := pickDataset(*dataset, retailer, housing, twitter)
 		print(bench.ViewTreeReport(ds, nil))
 		print(bench.ViewTreeReport(ds, []string{ds.Largest}))
+	case "repl":
+		ds := pickDataset(*dataset, retailer, housing, twitter)
+		if err := repl(ds, os.Stdin, os.Stdout, *batch, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "multiview":
+		cfg := bench.DefaultMultiView()
+		cfg.Views = *views
+		cfg.BatchSize = *batch
+		cfg.Group = *group
+		cfg.Workers = *workers
+		cfg.Retailer = retailer
+		print(bench.MultiView(cfg)...)
 	case "sql":
 		if fs.NArg() < 1 {
 			fmt.Fprintln(os.Stderr, `usage: fivm sql [-dataset retailer|housing] "SELECT ..."`)

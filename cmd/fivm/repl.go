@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"fivm/internal/data"
+	"fivm/internal/datasets"
+	"fivm/internal/db"
+	"fivm/internal/sqlparse"
+)
+
+// repl is the serve-style interactive mode: a db.DB over a dataset's
+// catalog, view DDL (CREATE VIEW / DROP VIEW / one-shot SELECT) driving the
+// maintenance machinery, and dot-commands to play the dataset's update
+// stream and inspect views between batches.
+func repl(ds *datasets.Dataset, in io.Reader, out io.Writer, batchSize, workers int) error {
+	cat := db.Catalog{}
+	for _, rd := range ds.Query.Rels {
+		cat[rd.Name] = rd.Schema
+	}
+	d, err := db.Open(cat, db.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), batchSize)
+	at := 0
+	tempViews := 0
+	vopts := db.ViewOptions{Workers: workers}
+
+	fmt.Fprintf(out, "fivm repl — dataset %s (%d stream batches of ~%d tuples; %d applied)\n",
+		ds.Name, len(stream), batchSize, at)
+	fmt.Fprintf(out, "SQL: CREATE VIEW v AS SELECT ...; DROP VIEW v; SELECT ... (one-shot)\n")
+	fmt.Fprintf(out, "commands: .play [n] .views .show v [limit] .stats .help .quit\n")
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() { fmt.Fprint(out, "fivm> ") }
+	prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" && pending.Len() == 0:
+			prompt()
+			continue
+		case strings.HasPrefix(line, ".") && pending.Len() == 0:
+			if quit := replCommand(d, out, line, stream, &at); quit {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		// SQL accumulates until a terminating semicolon (or a blank line).
+		pending.WriteString(line)
+		pending.WriteString(" ")
+		if !strings.HasSuffix(line, ";") && line != "" {
+			continue
+		}
+		sql := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if sql != "" {
+			replSQL(d, out, sql, vopts, &tempViews)
+		}
+		prompt()
+	}
+	return sc.Err()
+}
+
+// replSQL executes one SQL statement against the DB.
+func replSQL(d *db.DB, out io.Writer, sql string, vopts db.ViewOptions, tempViews *int) {
+	st, err := sqlparse.ParseStatement(sql, replCatalog(d))
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return
+	}
+	switch st.Kind {
+	case sqlparse.StmtCreateView:
+		start := time.Now()
+		if _, err := db.CreateViewSQL(d, "", sql, vopts); err != nil {
+			fmt.Fprintln(out, err)
+			return
+		}
+		fmt.Fprintf(out, "created view %s (backfilled in %v)\n", st.ViewName, time.Since(start).Round(time.Microsecond))
+	case sqlparse.StmtDropView:
+		if err := d.DropView(st.ViewName); err != nil {
+			fmt.Fprintln(out, err)
+			return
+		}
+		fmt.Fprintf(out, "dropped view %s\n", st.ViewName)
+	case sqlparse.StmtSelect:
+		// One-shot query: a temporary view backfilled from the current
+		// bases answers it, then retires.
+		*tempViews++
+		name := fmt.Sprintf("q#%d", *tempViews)
+		v, err := db.CreateViewSQL(d, name, sql, vopts)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return
+		}
+		showSnapshot(out, v.Snapshot().Result(), 20)
+		if err := d.DropView(name); err != nil {
+			fmt.Fprintln(out, err)
+		}
+	}
+}
+
+// replCommand handles one dot-command; it reports whether to quit.
+func replCommand(d *db.DB, out io.Writer, line string, stream []datasets.Batch, at *int) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".help":
+		fmt.Fprintln(out, "SQL: CREATE VIEW v AS SELECT ...; DROP VIEW v; SELECT ... (one-shot)")
+		fmt.Fprintln(out, ".play [n]      apply the next n stream batches (default 10)")
+		fmt.Fprintln(out, ".views         list registered views")
+		fmt.Fprintln(out, ".show v [k]    print up to k groups of view v (default 20)")
+		fmt.Fprintln(out, ".stats         ingest and per-view maintenance statistics")
+		fmt.Fprintln(out, ".quit          leave")
+	case ".play":
+		n := 10
+		if len(fields) > 1 {
+			if k, err := strconv.Atoi(fields[1]); err == nil && k > 0 {
+				n = k
+			}
+		}
+		tuples := 0
+		start := time.Now()
+		for i := 0; i < n && *at < len(stream); i++ {
+			b := stream[*at]
+			*at++
+			tuples += len(b.Tuples)
+			if err := d.Apply([]db.Update{{Rel: b.Rel, Tuples: b.Tuples, Mult: 1}}); err != nil {
+				fmt.Fprintln(out, err)
+				return false
+			}
+		}
+		el := time.Since(start)
+		fmt.Fprintf(out, "applied %d tuples in %v (%.0f tuples/s); %d/%d batches done, epoch %d\n",
+			tuples, el.Round(time.Microsecond), float64(tuples)/el.Seconds(), *at, len(stream), d.Epoch().Seq)
+	case ".views":
+		names := d.Views()
+		if len(names) == 0 {
+			fmt.Fprintln(out, "no views; CREATE VIEW v AS SELECT ...")
+		}
+		for _, name := range names {
+			st := d.ViewStatsOf(name)
+			fmt.Fprintf(out, "  %-16s %d inner views, %s, %d batches, maintain %v\n",
+				name, st.ViewCount, fmtBytes(st.MemoryBytes), st.Batches, st.Maintain.Round(time.Microsecond))
+		}
+	case ".show":
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "usage: .show <view> [limit]")
+			return false
+		}
+		limit := 20
+		if len(fields) > 2 {
+			if k, err := strconv.Atoi(fields[2]); err == nil && k > 0 {
+				limit = k
+			}
+		}
+		s := db.SnapshotOf[float64](d.Epoch(), fields[1])
+		if s == nil {
+			fmt.Fprintf(out, "unknown view %q (SQL-created views only)\n", fields[1])
+			return false
+		}
+		showSnapshot(out, s.Result(), limit)
+	case ".stats":
+		fmt.Fprintf(out, "applied batches: %d, epoch %d, base tuples: %d, memory %s\n",
+			d.Applied(), d.Epoch().Seq, baseTuples(d), fmtBytes(d.MemoryBytes()))
+	default:
+		fmt.Fprintf(out, "unknown command %s (.help)\n", fields[0])
+	}
+	return false
+}
+
+func replCatalog(d *db.DB) sqlparse.Catalog {
+	cat := sqlparse.Catalog{}
+	for _, rel := range d.Relations() {
+		sch, _ := d.Schema(rel)
+		cat[rel] = sch
+	}
+	return cat
+}
+
+func baseTuples(d *db.DB) int {
+	n := 0
+	for _, rel := range d.Relations() {
+		n += d.Base(rel).Len()
+	}
+	return n
+}
+
+func fmtBytes(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func showSnapshot(out io.Writer, s *data.RelationSnapshot[float64], limit int) {
+	fmt.Fprintf(out, "(%d groups)\n", s.Len())
+	es := s.SortedEntries() // already in encoded-key order
+	for i, e := range es {
+		if i >= limit {
+			fmt.Fprintf(out, "  ... (%d more)\n", len(es)-limit)
+			return
+		}
+		fmt.Fprintf(out, "  %v -> %g\n", e.Tuple, e.Payload)
+	}
+}

@@ -14,22 +14,35 @@
 //     relational data ring (RelRing).
 //
 // The package is a facade re-exporting the library's public surface; the
-// implementation lives under internal/. A quick taste:
+// implementation lives under internal/. The database-style top level is
+// fivm.DB — base relations owned once, any number of maintained views over
+// them, one ingest per batch, cross-view epochs for lock-free readers:
 //
-//	q := fivm.MustQuery("Q", fivm.NewSchema("A"),
+//	d, _ := fivm.Open(fivm.SQLCatalog{
+//	    "R": fivm.NewSchema("A", "B"),
+//	    "S": fivm.NewSchema("A", "C"),
+//	}, fivm.DBOptions{})
+//	q := fivm.MustQuery("byA", fivm.NewSchema("A"),
 //	    fivm.Rel("R", fivm.NewSchema("A", "B")),
 //	    fivm.Rel("S", fivm.NewSchema("A", "C")))
-//	ord := fivm.MustOrder(fivm.V("A", fivm.V("B"), fivm.V("C")))
-//	eng, _ := fivm.NewEngine[int64](q, ord, fivm.IntRing{}, fivm.CountLift, fivm.EngineOptions[int64]{})
-//	_ = eng.Init()
-//	// feed deltas with eng.ApplyDelta; read via eng.Snapshot() (or a
-//	// fivm.NewReader handle for concurrent serving). eng.Result() is a
-//	// live handle: only safe quiescently, on the maintenance goroutine.
+//	v, _ := fivm.CreateView[int64](d, "byA", q, fivm.IntRing{}, fivm.CountLift, fivm.ViewOptions{})
+//	_ = d.Apply([]fivm.DBUpdate{fivm.InsertInto("R", fivm.Ints(1, 10))})
+//	// read via d.Epoch() + fivm.ViewSnapshotOf / fivm.ViewReader; views can
+//	// be created (with backfill) and dropped mid-stream, also via SQL DDL
+//	// (d.Exec("CREATE VIEW ... AS SELECT ...")).
+//	_ = v
+//
+// The per-engine layer underneath (fivm.NewEngine and friends) remains
+// fully supported; feed deltas with eng.ApplyDeltas and read via
+// eng.Snapshot() or a fivm.NewReader handle for concurrent serving —
+// eng.Result() is a deprecated live handle, only safe quiescently on the
+// maintenance goroutine.
 package fivm
 
 import (
 	"fivm/internal/data"
 	"fivm/internal/datasets"
+	"fivm/internal/db"
 	"fivm/internal/factorized"
 	"fivm/internal/ivm"
 	"fivm/internal/matrix"
@@ -135,7 +148,31 @@ type ParsedSQL = sqlparse.Parsed
 
 // ParseSQL parses the paper's SQL dialect (natural joins, one SUM over a
 // product of columns, GROUP BY) against a catalog of relation schemas.
+// Parse failures are *SQLError values carrying the offending offset and
+// token.
 var ParseSQL = sqlparse.Parse
+
+// SQLError is a SQL parse failure with its position (byte offset and the
+// offending token).
+type SQLError = sqlparse.ParseError
+
+// SQLStatement is one parsed statement: a SELECT query or a CREATE VIEW /
+// DROP VIEW DDL command; SQLStmtKind discriminates.
+type (
+	SQLStatement = sqlparse.Statement
+	SQLStmtKind  = sqlparse.StmtKind
+)
+
+// Statement kinds.
+const (
+	StmtSelect     = sqlparse.StmtSelect
+	StmtCreateView = sqlparse.StmtCreateView
+	StmtDropView   = sqlparse.StmtDropView
+)
+
+// ParseSQLStatement parses one statement of the dialect: SELECT ...,
+// CREATE VIEW <name> AS SELECT ..., or DROP VIEW <name>.
+var ParseSQLStatement = sqlparse.ParseStatement
 
 // Order is a variable order (the F-IVM analogue of a query plan).
 type Order = vorder.Order
@@ -309,6 +346,89 @@ func NewRecursive[P any](q Query, r Ring[P], lift LiftFunc[P], updatable []strin
 // NewReEval builds the re-evaluation baseline.
 func NewReEval[P any](q Query, o *Order, r Ring[P], lift LiftFunc[P]) (Maintainer[P], error) {
 	return ivm.NewReEval[P](q, o, r, lift)
+}
+
+// --- the database surface: fivm.DB -------------------------------------------
+
+// DB is the database-style top level: it owns the base relations once,
+// maintains any number of registered views over them (each with its own
+// ring, lifting, variable order, and maintenance strategy), ingests every
+// update batch exactly once via Apply, and publishes one consistent
+// cross-view Epoch per batch for lock-free readers. Views can be created
+// (with backfill from the current bases) and dropped mid-stream.
+//
+// Open/CreateView/Apply/DropView/Exec are single-writer (one maintenance
+// goroutine); Epoch, snapshots, and readers are safe from any goroutine.
+type DB = db.DB
+
+// DBOptions configures Open.
+type DBOptions = db.Options
+
+// ViewOptions configures one registered view: its variable order (nil uses
+// the cost-based optimizer), Workers for sharded parallel maintenance, and
+// the engine's optimizer flags.
+type ViewOptions = db.ViewOptions
+
+// View is the typed handle CreateView returns: Snapshot/Reader for reads,
+// plus introspection.
+type View[P any] = db.View[P]
+
+// DBEpoch is one published cross-view state: an immutable set of per-view
+// snapshots all reflecting the same applied prefix of the update stream.
+type DBEpoch = db.Epoch
+
+// DBUpdate is one element of an applied batch: tuples of a base relation
+// with a signed multiplicity (negative deletes; zero means +1). Tuple
+// storage is adopted by the DB; callers must not mutate it after Apply.
+type DBUpdate = db.Update
+
+// ViewMaintStats is a view's cumulative maintenance accounting inside a DB.
+type ViewMaintStats = db.ViewStats
+
+// Open creates a DB over the cataloged base relations.
+func Open(cat SQLCatalog, opts DBOptions) (*DB, error) { return db.Open(cat, opts) }
+
+// InsertInto and DeleteFrom build insertion / deletion updates for DB.Apply.
+var (
+	InsertInto = db.Insert
+	DeleteFrom = db.Delete
+)
+
+// CreateView registers a maintained view on the DB: a group-by aggregate
+// query over its base relations with the view's own payload ring and
+// lifting. Created views are backfilled from the current base contents, so
+// mid-stream registration yields exactly the state a from-the-start view
+// would have. (A package function, not a method: each view carries its own
+// payload type.)
+func CreateView[P any](d *DB, name string, q Query, r Ring[P], lift LiftFunc[P], opts ViewOptions) (*View[P], error) {
+	return db.CreateView[P](d, name, q, r, lift, opts)
+}
+
+// CreateSQLView registers a float-ring view from SQL text: either
+// "CREATE VIEW <name> AS SELECT ..." or a bare SELECT plus an explicit
+// name. DB.Exec drives the same path from DDL statements.
+func CreateSQLView(d *DB, name, sql string, opts ViewOptions) (*View[float64], error) {
+	return db.CreateViewSQL(d, name, sql, opts)
+}
+
+// ViewSnapshotOf returns the named view's snapshot within a cross-view
+// epoch, or nil when the epoch does not carry it (or the payload type does
+// not match).
+func ViewSnapshotOf[P any](e *DBEpoch, view string) *ViewSnapshot[P] {
+	return db.SnapshotOf[P](e, view)
+}
+
+// ViewReader returns a serve.Reader over the named DB view pinned at the
+// latest cross-view epoch; Refresh advances through the view's live
+// publications. One reader per reading goroutine.
+func ViewReader[P any](d *DB, view string) (*Reader[P], error) {
+	return db.ReaderFor[P](d, view)
+}
+
+// NewReaderAt pins a reader to an explicitly chosen snapshot of a source
+// (how cross-view consistent read sets are assembled).
+func NewReaderAt[P any](src SnapshotSource[P], snap *ViewSnapshot[P]) *Reader[P] {
+	return serve.NewReaderAt[P](src, snap)
 }
 
 // --- applications -------------------------------------------------------------

@@ -337,6 +337,39 @@ func TestRunMixedEpochsAdvance(t *testing.T) {
 	}
 }
 
+// BenchmarkMultiView is the shared-ingest compile-and-run smoke for CI: one
+// DB fanning a stream out to 4 concurrent views versus 4 separate engines.
+func BenchmarkMultiView(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultMultiView()
+		cfg.Views = 4
+		cfg.BatchSize = 50
+		cfg.Retailer = tinyRetailer()
+		for _, tbl := range MultiView(cfg) {
+			if len(tbl.Rows) == 0 {
+				b.Fatalf("empty table %q", tbl.Title)
+			}
+		}
+	}
+}
+
+// TestMultiViewRuns checks both sides complete without maintenance errors.
+func TestMultiViewRuns(t *testing.T) {
+	cfg := DefaultMultiView()
+	cfg.Views = 3
+	cfg.BatchSize = 100
+	cfg.Retailer = tinyRetailer()
+	tables := MultiView(cfg)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, row := range tables[1].Rows {
+		if row[len(row)-1] != "ok" {
+			t.Errorf("run %q ended %q", row[0], row[len(row)-1])
+		}
+	}
+}
+
 // BenchmarkFig7MixedReaders is the mixed-workload compile-and-run smoke for
 // CI: maintenance streaming with concurrent snapshot readers.
 func BenchmarkFig7MixedReaders(b *testing.B) {

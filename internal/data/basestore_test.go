@@ -1,0 +1,123 @@
+package data
+
+import (
+	"errors"
+	"testing"
+
+	"fivm/internal/ring"
+)
+
+func bsTuple(vals ...int64) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = Int(v)
+	}
+	return t
+}
+
+func TestBaseStoreApplyAndObserve(t *testing.T) {
+	s := NewBaseStore()
+	if err := s.Register("R", NewSchema("A", "B")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("S", NewSchema("B", "C")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("R", NewSchema("A", "B")); err == nil {
+		t.Fatal("duplicate Register should fail")
+	}
+
+	var sawR, sawAll int
+	s.Attach("onlyR", []string{"R"}, func(batch []BaseUpdate) error {
+		for _, u := range batch {
+			if u.Rel != "R" {
+				t.Errorf("onlyR observer saw %q", u.Rel)
+			}
+			sawR += len(u.Tuples)
+		}
+		return nil
+	})
+	s.Attach("all", nil, func(batch []BaseUpdate) error {
+		for _, u := range batch {
+			sawAll += len(u.Tuples)
+		}
+		return nil
+	})
+
+	err := s.ApplyBatch([]BaseUpdate{
+		{Rel: "R", Tuples: []Tuple{bsTuple(1, 2), bsTuple(3, 4), bsTuple(3, 4)}},
+		{Rel: "S", Tuples: []Tuple{bsTuple(2, 5)}, Mult: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawR != 3 || sawAll != 4 {
+		t.Errorf("observers saw R=%d all=%d, want 3 and 4", sawR, sawAll)
+	}
+	// Base compacts the log lazily: the duplicate insert coalesced to 2.
+	if got, _ := s.Base("R").Get(bsTuple(3, 4)); got != 2 {
+		t.Errorf("R[3,4] = %d, want 2", got)
+	}
+
+	// Deletion drives multiplicity to zero and drops the key at compaction.
+	if err := s.ApplyBatch([]BaseUpdate{
+		{Rel: "R", Tuples: []Tuple{bsTuple(1, 2)}, Mult: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Base("R").Contains(bsTuple(1, 2)) {
+		t.Error("deleted key still present")
+	}
+	if s.Tuples() != 2 {
+		t.Errorf("Tuples() = %d, want 2", s.Tuples())
+	}
+
+	// Detach stops delivery.
+	s.Detach("onlyR")
+	before := sawR
+	if err := s.ApplyBatch([]BaseUpdate{
+		{Rel: "R", Tuples: []Tuple{bsTuple(7, 7)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sawR != before {
+		t.Error("detached observer still delivered")
+	}
+	if got := s.Observers(); len(got) != 1 || got[0] != "all" {
+		t.Errorf("observers = %v", got)
+	}
+}
+
+func TestBaseStoreErrors(t *testing.T) {
+	s := NewBaseStore()
+	if err := s.Register("R", NewSchema("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyBatch([]BaseUpdate{{Rel: "Z", Tuples: []Tuple{bsTuple(1)}}}); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if err := s.ApplyBatch([]BaseUpdate{{Rel: "R", Tuples: []Tuple{bsTuple(1, 2)}}}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+
+	boom := errors.New("boom")
+	s.Attach("bad", nil, func([]BaseUpdate) error { return boom })
+	err := s.ApplyBatch([]BaseUpdate{{Rel: "R", Tuples: []Tuple{bsTuple(1)}}})
+	if !errors.Is(err, boom) {
+		t.Errorf("observer error not propagated: %v", err)
+	}
+}
+
+func TestLiftFrom(t *testing.T) {
+	src := NewRelation[int64](ring.Int{}, NewSchema("A"))
+	src.Merge(bsTuple(1), 2)
+	src.Merge(bsTuple(2), -1)
+	dst := NewRelation[float64](ring.Float{}, NewSchema("A"))
+	LiftFrom(dst, src, func(n int64) float64 { return float64(n) })
+	if got, _ := dst.Get(bsTuple(1)); got != 2 {
+		t.Errorf("dst[1] = %g", got)
+	}
+	if got, _ := dst.Get(bsTuple(2)); got != -1 {
+		t.Errorf("dst[2] = %g", got)
+	}
+}

@@ -214,6 +214,31 @@ func ObserveDeltaRelation[P any](st *Stats, name string, schema Schema, d *Relat
 	})
 }
 
+// ObserveDeltaTuples is ObserveDeltaRelation for a raw (uncoalesced) tuple
+// slice with a known signed multiplicity — the form the db.DB's shared
+// ingest path observes, one pass for every view. Unlike coalesced deltas,
+// the sign is visible here, so deletions decrement the cardinality
+// approximation instead of inflating it.
+func ObserveDeltaTuples(st *Stats, name string, schema Schema, tuples []Tuple, mult int64) {
+	rs := st.Rel(name, schema)
+	rs.DeltaTuples += int64(len(tuples))
+	if rs.exact {
+		return
+	}
+	if mult < 0 {
+		rs.Live -= len(tuples)
+		if rs.Live < 0 {
+			rs.Live = 0
+		}
+		return
+	}
+	for _, t := range tuples {
+		rs.Live++
+		rs.Inserted++
+		rs.observeValues(t)
+	}
+}
+
 // Clone deep-copies the collector, sketches included. Clones start detached
 // (not exact): each engine or shard owns and updates its own copy, so one
 // ANALYZE pass can seed many concurrently running maintainers.

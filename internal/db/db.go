@@ -1,0 +1,376 @@
+// Package db is the database-style top level of F-IVM: one DB owns the base
+// relations, maintains any number of registered views over them, and serves
+// epoch-consistent reads — the paper's "one view-tree machinery for every
+// analytical task" turned into a system surface.
+//
+// A DB inverts the library's original data ownership. Instead of every
+// maintainer privately ingesting (and copying) the same update stream, the
+// DB ingests each delta batch exactly once into a shared base-relation store
+// (data.BaseStore) and fans the coalesced per-relation deltas out to every
+// registered view through the store's observe hooks. Views are registered
+// with CreateView — each with its own payload ring, lifting, variable order
+// (auto-chosen by the cost-based optimizer when omitted) and maintenance
+// strategy (a sharded parallel engine when Workers > 1) — and may be created
+// or dropped mid-stream: a late CreateView backfills from the current base
+// relations, so its state is exactly as if it had been registered from the
+// start.
+//
+// After every applied batch the DB publishes one cross-view Epoch: an
+// immutable set of per-view snapshots all reflecting the same prefix of the
+// update stream. Readers pin an Epoch (or a per-view serve.Reader on one)
+// and read lock-free while maintenance streams on.
+//
+// Concurrency contract: Open, CreateView, Apply, DropView, and Exec are
+// single-writer — call them from one maintenance goroutine. Epoch, the
+// package-level snapshot/reader accessors, and everything reachable from an
+// Epoch are safe from any goroutine at any time.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fivm/internal/data"
+	"fivm/internal/sqlparse"
+)
+
+// Catalog maps base relation names to their schemas; it is the same type
+// the SQL front-end consumes.
+type Catalog = sqlparse.Catalog
+
+// Options configures a DB.
+type Options struct {
+	// DisableStats turns off the shared statistics collector. Views created
+	// without an explicit variable order then plan from structural defaults
+	// instead of observed cardinalities, and AutoReoptimize views start
+	// cold. The collector costs one observation per stored base tuple per
+	// batch; leave it on unless ingest is the only thing that matters.
+	DisableStats bool
+}
+
+// Update is one element of an applied batch: tuples of a base relation with
+// a signed multiplicity (negative deletes; zero defaults to +1). Tuple
+// storage is adopted by the DB — the shared store's log and the views keep
+// the slices — so callers must not mutate tuples (or reuse their backing
+// arrays) after Apply.
+type Update struct {
+	Rel    string
+	Tuples []data.Tuple
+	// Mult is the signed multiplicity applied per tuple; 0 means +1.
+	Mult int64
+}
+
+// Insert builds an insertion update.
+func Insert(rel string, tuples ...data.Tuple) Update {
+	return Update{Rel: rel, Tuples: tuples, Mult: 1}
+}
+
+// Delete builds a deletion update.
+func Delete(rel string, tuples ...data.Tuple) Update {
+	return Update{Rel: rel, Tuples: tuples, Mult: -1}
+}
+
+// DB is the top-level database: shared base relations, registered maintained
+// views, and cross-view epoch publication.
+type DB struct {
+	opts  Options
+	store *data.BaseStore
+	stats *data.Stats
+
+	// registry of views; mu guards it for cross-goroutine readers
+	// (ReaderFor), while all mutations stay on the maintenance goroutine.
+	mu    sync.RWMutex
+	views map[string]registeredView
+	order []string
+
+	cur     atomic.Pointer[Epoch]
+	seq     uint64 // published epochs (bumped by Apply and view DDL)
+	applied uint64 // applied update batches
+
+	conv convCache
+
+	// Apply scratch, reused across calls (the store copies what it keeps).
+	baseBatch []data.BaseUpdate
+}
+
+// registeredView is the ring-erased handle the DB keeps per view; the typed
+// side lives in View[P].
+type registeredView interface {
+	viewName() string
+	queryRels() []string
+	observe(batch []data.BaseUpdate) error
+	latestSnapshot() any // *ivm.ViewSnapshot[P]
+	stats() ViewStats
+	viewCount() int
+	memoryBytes() int
+	closeView()
+}
+
+// Open creates a DB over the cataloged base relations (registered in sorted
+// name order, so iteration order is deterministic). The catalog is fixed at
+// Open; views come and go afterwards via CreateView / DropView.
+func Open(cat Catalog, opts Options) (*DB, error) {
+	if len(cat) == 0 {
+		return nil, fmt.Errorf("db: empty catalog")
+	}
+	d := &DB{
+		opts:  opts,
+		store: data.NewBaseStore(),
+		views: make(map[string]registeredView),
+	}
+	names := make([]string, 0, len(cat))
+	for name := range cat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if len(cat[name]) == 0 {
+			return nil, fmt.Errorf("db: relation %q has an empty schema", name)
+		}
+		if err := d.store.Register(name, cat[name]); err != nil {
+			return nil, err
+		}
+	}
+	if !opts.DisableStats {
+		// Cardinalities, sketches, and delta rates are observed from the
+		// coalesced batch stream in Apply (the store's merged contents are
+		// compacted lazily, so there is no eager merge path to hook).
+		d.stats = data.NewStats()
+	}
+	d.publish()
+	return d, nil
+}
+
+// Relations returns the base relation names in registration (sorted) order.
+func (d *DB) Relations() []string { return d.store.Relations() }
+
+// Schema returns the canonical schema of a base relation.
+func (d *DB) Schema(rel string) (data.Schema, bool) { return d.store.Schema(rel) }
+
+// Base returns the shared multiplicity relation of a base relation,
+// compacting the store's pending delta log for it first. It is owned by the
+// DB: safe to read only from the maintenance goroutine between Apply calls,
+// never to mutate.
+func (d *DB) Base(rel string) *data.Relation[int64] { return d.store.Base(rel) }
+
+// Stats returns the shared statistics collector (nil when disabled). Owned
+// by the maintenance goroutine.
+func (d *DB) Stats() *data.Stats { return d.stats }
+
+// Views returns the registered view names in creation order.
+func (d *DB) Views() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// HasView reports whether a view is registered.
+func (d *DB) HasView(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.views[name]
+	return ok
+}
+
+// ViewStats is a view's cumulative maintenance accounting inside this DB.
+type ViewStats struct {
+	// Batches is the number of applied batches that reached the view.
+	Batches uint64
+	// Keys is the total number of update tuples fanned to the view (raw
+	// count, before in-ring coalescing; duplicates and deletions included).
+	Keys uint64
+	// Maintain is the total wall time spent maintaining the view (delta
+	// conversion plus strategy propagation plus snapshot publication).
+	Maintain time.Duration
+	// ViewCount and MemoryBytes describe the materialized state.
+	ViewCount   int
+	MemoryBytes int
+}
+
+// ViewStatsOf returns a view's maintenance accounting (zero value for
+// unknown names). Maintenance-goroutine only: it reads live state.
+func (d *DB) ViewStatsOf(name string) ViewStats {
+	d.mu.RLock()
+	v := d.views[name]
+	d.mu.RUnlock()
+	if v == nil {
+		return ViewStats{}
+	}
+	st := v.stats()
+	st.ViewCount = v.viewCount()
+	st.MemoryBytes = v.memoryBytes()
+	return st
+}
+
+// Applied returns the number of update batches applied so far.
+func (d *DB) Applied() uint64 { return d.applied }
+
+// MemoryBytes estimates the bytes held by the shared base store plus every
+// registered view's materialized state. Maintenance-goroutine only.
+func (d *DB) MemoryBytes() int {
+	total := d.store.MemoryBytes()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, v := range d.views {
+		total += v.memoryBytes()
+	}
+	return total
+}
+
+// Apply ingests one batch of updates: it is appended to the shared base
+// store's update log exactly once (tuple storage shared, no per-tuple work;
+// the merged bases compact lazily on demand), fanned out to every
+// registered view — which lift it into their rings once per distinct ring,
+// not once per view — and one cross-view Epoch is published at the end. It
+// is the DB's only write path; deletions are updates with negative Mult.
+//
+// A view-maintenance error aborts the fan-out mid-batch and leaves the DB
+// torn (some views ahead of others); treat it as fatal and rebuild.
+func (d *DB) Apply(batch []Update) error {
+	d.baseBatch = d.baseBatch[:0]
+	for _, u := range batch {
+		if len(u.Tuples) == 0 {
+			continue
+		}
+		sch, ok := d.store.Schema(u.Rel)
+		if !ok {
+			return fmt.Errorf("db: unknown relation %q", u.Rel)
+		}
+		// Validate arity up front, so a rejected batch leaves the applied
+		// counter and the statistics untouched.
+		for _, t := range u.Tuples {
+			if len(t) != len(sch) {
+				return fmt.Errorf("db: %q tuple %v does not match schema %v", u.Rel, t, sch)
+			}
+		}
+		d.baseBatch = append(d.baseBatch, data.BaseUpdate{Rel: u.Rel, Tuples: u.Tuples, Mult: u.Mult})
+	}
+
+	d.applied++
+	d.conv.seq = d.applied
+	if d.stats != nil {
+		for _, u := range d.baseBatch {
+			sch, _ := d.store.Schema(u.Rel)
+			mult := u.Mult
+			if mult == 0 {
+				mult = 1
+			}
+			data.ObserveDeltaTuples(d.stats, u.Rel, sch, u.Tuples, mult)
+		}
+	}
+	// Advance the shared store once, then fan out to the views through the
+	// store's observe hooks.
+	if err := d.store.ApplyBatch(d.baseBatch); err != nil {
+		return err
+	}
+	d.publish()
+	return nil
+}
+
+// DropView unregisters a view: it is detached from the base stream, its
+// worker pool (if any) is stopped, and the next published Epoch no longer
+// carries it. Readers pinned on earlier epochs keep reading their snapshots.
+func (d *DB) DropView(name string) error {
+	d.mu.RLock()
+	v := d.views[name]
+	d.mu.RUnlock()
+	if v == nil {
+		return fmt.Errorf("db: unknown view %q", name)
+	}
+	d.store.Detach(name)
+	v.closeView()
+	d.mu.Lock()
+	delete(d.views, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+	d.publish()
+	return nil
+}
+
+// Close drops every view (stopping worker pools). The DB must not be used
+// afterwards.
+func (d *DB) Close() error {
+	for _, name := range d.Views() {
+		if err := d.DropView(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registerView installs a backfilled view under its name and publishes a
+// fresh epoch carrying it.
+func (d *DB) registerView(v registeredView) {
+	d.mu.Lock()
+	d.views[v.viewName()] = v
+	d.order = append(d.order, v.viewName())
+	d.mu.Unlock()
+	d.store.Attach(v.viewName(), v.queryRels(), v.observe)
+	d.publish()
+}
+
+// publish assembles and swaps in the next cross-view Epoch from every
+// registered view's latest snapshot. Called at the end of Open, Apply, and
+// view DDL, on the maintenance goroutine.
+func (d *DB) publish() {
+	d.mu.RLock()
+	snaps := make(map[string]any, len(d.views))
+	names := make([]string, len(d.order))
+	copy(names, d.order)
+	for name, v := range d.views {
+		snaps[name] = v.latestSnapshot()
+	}
+	d.mu.RUnlock()
+	d.seq++
+	d.cur.Store(&Epoch{
+		Seq:     d.seq,
+		Applied: d.applied,
+		At:      time.Now(),
+		snaps:   snaps,
+		names:   names,
+	})
+}
+
+// Epoch returns the latest published cross-view epoch: one consistent
+// snapshot per registered view, all reflecting the same applied prefix of
+// the update stream. Safe from any goroutine; pin it and read lock-free.
+func (d *DB) Epoch() *Epoch { return d.cur.Load() }
+
+// Epoch is one published cross-view state: an immutable set of per-view
+// snapshots taken after the same applied batch (plus the DDL operations up
+// to it). Within one DB, Seq is strictly monotonic.
+type Epoch struct {
+	// Seq counts published epochs (Apply and view DDL each publish one).
+	Seq uint64
+	// Applied is the number of update batches this epoch reflects.
+	Applied uint64
+	// At is the publication wall time.
+	At time.Time
+
+	snaps map[string]any
+	names []string
+}
+
+// Views returns the epoch's view names in creation order (a copy: epochs
+// are immutable and shared across goroutines).
+func (e *Epoch) Views() []string {
+	out := make([]string, len(e.names))
+	copy(out, e.names)
+	return out
+}
+
+// Has reports whether the epoch carries the named view.
+func (e *Epoch) Has(name string) bool {
+	_, ok := e.snaps[name]
+	return ok
+}

@@ -1,0 +1,394 @@
+package db
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"fivm/internal/data"
+	"fivm/internal/ivm"
+	"fivm/internal/query"
+	"fivm/internal/ring"
+	"fivm/internal/serve"
+	"fivm/internal/vorder"
+)
+
+// ViewOptions configures one registered view.
+type ViewOptions struct {
+	// Order supplies a fresh variable order per maintainer instance (orders
+	// hold per-query state; with Workers > 1 every shard needs its own).
+	// Nil lets the cost-based optimizer choose, seeded from the DB's shared
+	// statistics at creation time.
+	Order func() *vorder.Order
+	// Workers > 1 maintains the view with the sharded parallel engine over
+	// that many shards (clamped to the host's cores).
+	Workers int
+	// Updatable restricts which base relations this view expects deltas
+	// from (ivm.Options.Updatable); empty means all of the query's.
+	Updatable []string
+	// ComposeChains, CostMaterialize, and AutoReoptimize are the engine's
+	// corresponding options.
+	ComposeChains   bool
+	CostMaterialize bool
+	AutoReoptimize  bool
+}
+
+// View is the typed handle of one registered view: its maintainer plus the
+// conversion machinery that turns shared base deltas into ring payloads.
+// Reads go through Snapshot/Reader (any goroutine); everything else is
+// maintenance-goroutine only.
+type View[P any] struct {
+	db   *DB
+	name string
+	q    query.Query
+	ring ring.Ring[P]
+	m    ivm.Maintainer[P]
+
+	ringKey any      // conversion-sharing identity: the ring value, or a per-view sentinel
+	rels    []string // the query's relations (backfill set)
+	updRels []string // relations observed for deltas (Updatable or all)
+	scratch []ivm.NamedDelta[P]
+	seen    map[string]bool // per-observe relation dedup, reused across batches
+
+	vstats ViewStats
+}
+
+// convCache shares converted deltas across views: within one applied batch,
+// every view over the same payload ring receives the identical delta
+// relation for a given base relation, so the conversion (key re-encoding and
+// payload lifting) runs once per (ring, relation) instead of once per view.
+// Entries persist across batches as cleared scratch; seq tags which batch a
+// conversion belongs to.
+type convCache struct {
+	m   map[convKey]*convEntry
+	seq uint64
+}
+
+// convKey identifies a shared conversion: the ring VALUE (not just its
+// type — a parameterized ring with different field values must not share)
+// and the base relation. Rings whose dynamic type is not comparable get a
+// per-view sentinel key instead, opting out of sharing.
+type convKey struct {
+	ring any
+	rel  string
+}
+
+type convEntry struct {
+	rel any // *data.Relation[P]
+	seq uint64
+}
+
+// CreateView registers a maintained view under name: a group-by aggregate
+// query over the DB's base relations with its own payload ring and lifting.
+// The view is backfilled from the current base relations — creating it
+// mid-stream yields exactly the state it would have had from the start — and
+// begins receiving every subsequent Apply. A fresh cross-view epoch carrying
+// it is published before CreateView returns.
+//
+// CreateView is a package function rather than a method because each view
+// carries its own payload type (Go methods cannot add type parameters).
+func CreateView[P any](d *DB, name string, q query.Query, r ring.Ring[P], lift data.LiftFunc[P], opts ViewOptions) (*View[P], error) {
+	if name == "" {
+		return nil, fmt.Errorf("db: empty view name")
+	}
+	if d.HasView(name) {
+		return nil, fmt.Errorf("db: view %q already exists", name)
+	}
+	if len(q.Rels) == 0 {
+		return nil, fmt.Errorf("db: view %q query has no relations", name)
+	}
+	for _, rd := range q.Rels {
+		sch, ok := d.store.Schema(rd.Name)
+		if !ok {
+			return nil, fmt.Errorf("db: view %q references unknown relation %q", name, rd.Name)
+		}
+		if !sch.SameSet(rd.Schema) {
+			return nil, fmt.Errorf("db: view %q declares %q with schema %v, catalog has %v",
+				name, rd.Name, rd.Schema, sch)
+		}
+	}
+
+	factory := func() (ivm.Maintainer[P], error) {
+		var o *vorder.Order
+		if opts.Order != nil {
+			o = opts.Order()
+		}
+		eopts := ivm.Options[P]{
+			Updatable:       opts.Updatable,
+			ComposeChains:   opts.ComposeChains,
+			CostMaterialize: opts.CostMaterialize,
+			AutoReoptimize:  opts.AutoReoptimize,
+			// The DB observes the coalesced stream once for every view, so
+			// per-view engines plan from it and then stop collecting
+			// (unless adaptive re-optimization needs a live feed).
+			NoLiveStats: !opts.AutoReoptimize,
+		}
+		if d.stats != nil {
+			// Seed self-planning and the cost policies from the DB's shared
+			// collector; every maintainer instance owns its clone.
+			eopts.Stats = d.stats.Clone()
+		}
+		return ivm.New[P](q, o, r, lift, eopts)
+	}
+	var m ivm.Maintainer[P]
+	var err error
+	if opts.Workers > 1 {
+		m, err = ivm.NewParallel[P](q, r, opts.Workers, factory)
+	} else {
+		m, err = factory()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	v := &View[P]{
+		db:      d,
+		name:    name,
+		q:       q,
+		ring:    r,
+		m:       m,
+		rels:    q.RelNames(),
+		updRels: q.RelNames(),
+	}
+	if rt := reflect.TypeOf(r); rt != nil && rt.Comparable() {
+		v.ringKey = r
+	} else {
+		v.ringKey = v // unique sentinel: no cross-view sharing for this ring
+	}
+	if len(opts.Updatable) > 0 {
+		v.updRels = opts.Updatable
+	}
+
+	// Backfill from the shared base store: lift each base relation's
+	// multiplicities into the view's ring and hand the fresh relation over
+	// owned, so Init adopts it without another copy.
+	for _, rel := range v.rels {
+		base := d.store.Base(rel)
+		if base == nil || base.Len() == 0 {
+			continue
+		}
+		conv := data.NewRelation[P](r, base.Schema())
+		conv.Reserve(base.Len())
+		fillLifted(conv, base, r)
+		if err := loadOwned(m, rel, conv); err != nil {
+			closeMaintainer(m)
+			return nil, err
+		}
+	}
+	if err := m.Init(); err != nil {
+		closeMaintainer(m)
+		return nil, err
+	}
+	// Enable snapshot publication: every applied batch now publishes an
+	// epoch, which the DB's cross-view Epoch picks up.
+	m.Snapshot()
+
+	d.registerView(v)
+	return v, nil
+}
+
+// loadOwned hands a relation to the maintainer with ownership transfer when
+// it supports adoption (Engine and Parallel do), falling back to Load.
+func loadOwned[P any](m ivm.Maintainer[P], rel string, r *data.Relation[P]) error {
+	if a, ok := m.(ivm.BaseAdopter[P]); ok {
+		return a.LoadOwned(rel, r)
+	}
+	return m.Load(rel, r)
+}
+
+func closeMaintainer(m any) {
+	if c, ok := m.(interface{ Close() error }); ok {
+		c.Close()
+	}
+}
+
+// fillLifted writes src's tuples into dst with payload n·1 in dst's ring,
+// sharing src's encoded keys (no re-encoding on the fan-out path).
+func fillLifted[P any](dst *data.Relation[P], src *data.Relation[int64], r ring.Ring[P]) {
+	one := r.One()
+	negOne := r.Neg(one)
+	data.LiftFrom(dst, src, func(n int64) P {
+		switch n {
+		case 1:
+			return one
+		case -1:
+			return negOne
+		default:
+			return scalePayload(r, n)
+		}
+	})
+}
+
+// scalePayload returns n·1 in the ring (n != 0), by binary doubling on Add
+// so high multiplicities cost O(log n) ring operations.
+func scalePayload[P any](r ring.Ring[P], n int64) P {
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var acc P
+	have := false
+	pow := r.One() // 2^i · 1
+	for n > 0 {
+		if n&1 == 1 {
+			if have {
+				acc = r.Add(acc, pow)
+			} else {
+				acc, have = pow, true
+			}
+		}
+		if n >>= 1; n > 0 {
+			pow = r.Add(pow, pow)
+		}
+	}
+	if neg {
+		acc = r.Neg(acc)
+	}
+	return acc
+}
+
+// --- the ring-erased side the DB drives -------------------------------------
+
+func (v *View[P]) viewName() string    { return v.name }
+func (v *View[P]) queryRels() []string { return v.updRels }
+func (v *View[P]) viewCount() int      { return v.m.ViewCount() }
+func (v *View[P]) memoryBytes() int    { return v.m.MemoryBytes() }
+func (v *View[P]) stats() ViewStats    { return v.vstats }
+
+func (v *View[P]) closeView() { closeMaintainer(v.m) }
+
+// observe is the view's base-store hook: lift the batch's raw updates into
+// this ring — once per distinct ring across all of the DB's views, via the
+// shared conversion cache — and drive the maintainer once.
+func (v *View[P]) observe(batch []data.BaseUpdate) error {
+	start := time.Now()
+	v.scratch = v.scratch[:0]
+	if v.seen == nil {
+		v.seen = make(map[string]bool, 4)
+	}
+	clear(v.seen)
+	tuples := uint64(0)
+	for _, u := range batch {
+		// The first occurrence of each relation converts every update of
+		// that relation in the batch (coalesced in-ring); later occurrences
+		// are already folded in.
+		if !v.seen[u.Rel] {
+			v.seen[u.Rel] = true
+			v.scratch = append(v.scratch, ivm.NamedDelta[P]{Rel: u.Rel, Delta: v.convert(u.Rel, batch)})
+		}
+		tuples += uint64(len(u.Tuples))
+	}
+	err := v.m.ApplyDeltas(v.scratch)
+	v.vstats.Batches++
+	v.vstats.Keys += tuples
+	v.vstats.Maintain += time.Since(start)
+	return err
+}
+
+// convert lifts one relation's updates of the batch into the view's ring,
+// sharing the result with every other view over the same ring type via the
+// DB's conversion cache.
+func (v *View[P]) convert(rel string, batch []data.BaseUpdate) *data.Relation[P] {
+	if v.db.conv.m == nil {
+		v.db.conv.m = make(map[convKey]*convEntry)
+	}
+	key := convKey{ring: v.ringKey, rel: rel}
+	e := v.db.conv.m[key]
+	if e != nil && e.seq == v.db.conv.seq {
+		return e.rel.(*data.Relation[P])
+	}
+	n := 0
+	for _, u := range batch {
+		if u.Rel == rel {
+			n += len(u.Tuples)
+		}
+	}
+	var out *data.Relation[P]
+	if e == nil {
+		sch, _ := v.db.store.Schema(rel)
+		out = data.NewRelation[P](v.ring, sch)
+		out.RecycleCleared()
+		e = &convEntry{rel: out}
+		v.db.conv.m[key] = e
+	} else {
+		out = e.rel.(*data.Relation[P])
+		out.Clear()
+	}
+	out.Reserve(n)
+	one := v.ring.One()
+	negOne := v.ring.Neg(one)
+	for _, u := range batch {
+		if u.Rel != rel {
+			continue
+		}
+		var p P
+		switch u.Mult {
+		case 0, 1:
+			p = one
+		case -1:
+			p = negOne
+		default:
+			p = scalePayload(v.ring, u.Mult)
+		}
+		for _, t := range u.Tuples {
+			out.Merge(t, p)
+		}
+	}
+	e.seq = v.db.conv.seq
+	return out
+}
+
+// --- typed reads -------------------------------------------------------------
+
+// Name returns the view's registered name.
+func (v *View[P]) Name() string { return v.name }
+
+// Query returns the view's defining query.
+func (v *View[P]) Query() query.Query { return v.q }
+
+// Maintainer exposes the underlying maintenance strategy (for Explain-style
+// introspection). Maintenance-goroutine only.
+func (v *View[P]) Maintainer() ivm.Maintainer[P] { return v.m }
+
+// Snapshot returns the view's latest published snapshot (safe from any
+// goroutine). For a set of views consistent at one applied batch, go through
+// DB.Epoch and SnapshotOf instead.
+func (v *View[P]) Snapshot() *ivm.ViewSnapshot[P] { return v.m.Snapshot() }
+
+// Reader returns a serve.Reader pinned to the view's snapshot in the DB's
+// latest cross-view epoch (falling back to the view's own latest snapshot if
+// the epoch predates the view). One reader per reading goroutine.
+func (v *View[P]) Reader() *serve.Reader[P] {
+	return serve.NewReaderAt[P](v.m, SnapshotOf[P](v.db.Epoch(), v.name))
+}
+
+// SnapshotOf returns the named view's snapshot in a cross-view epoch, or nil
+// when the epoch does not carry it (unknown name, dropped view, or a payload
+// type mismatch).
+func SnapshotOf[P any](e *Epoch, view string) *ivm.ViewSnapshot[P] {
+	if e == nil {
+		return nil
+	}
+	s, _ := e.snaps[view].(*ivm.ViewSnapshot[P])
+	return s
+}
+
+// ReaderFor returns a serve.Reader over the named view pinned at the DB's
+// latest cross-view epoch. Safe from any goroutine; Refresh advances through
+// the view's live publications. The payload type must match the view's.
+func ReaderFor[P any](d *DB, view string) (*serve.Reader[P], error) {
+	d.mu.RLock()
+	rv := d.views[view]
+	d.mu.RUnlock()
+	if rv == nil {
+		return nil, fmt.Errorf("db: unknown view %q", view)
+	}
+	v, ok := rv.(*View[P])
+	if !ok {
+		return nil, fmt.Errorf("db: view %q has payload type %T, not the requested one", view, rv)
+	}
+	return serve.NewReaderAt[P](v.m, SnapshotOf[P](d.Epoch(), view)), nil
+}
+
+// latestSnapshot implements registeredView.
+func (v *View[P]) latestSnapshot() any { return v.m.Snapshot() }

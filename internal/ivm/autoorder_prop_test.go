@@ -298,7 +298,9 @@ func TestNilOrderThroughFacadePaths(t *testing.T) {
 func TestParallelRouterStats(t *testing.T) {
 	q := paperQuery()
 	par, err := newParallel[int64](q, ring.Int{}, 4,
-		func() (Maintainer[int64], error) { return New[int64](q, paperOrder(), ring.Int{}, countLift, Options[int64]{}) })
+		func() (Maintainer[int64], error) {
+			return New[int64](q, paperOrder(), ring.Int{}, countLift, Options[int64]{})
+		})
 	if err != nil {
 		t.Fatal(err)
 	}

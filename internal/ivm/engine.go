@@ -34,8 +34,12 @@ type Maintainer[P any] interface {
 	// relation the strategy keeps updating in place. It is NOT safe to read
 	// while another goroutine runs ApplyDelta/ApplyDeltas, and reads
 	// interleaved with updates on one goroutine may observe each batch's
-	// effects only as a whole. Concurrent or consistent readers must go
-	// through Snapshot.
+	// effects only as a whole.
+	//
+	// Deprecated: the live handle is a footgun outside the maintenance
+	// goroutine. Read through Snapshot (or a serve.Reader pinned on one),
+	// which is race-free and observes only whole applied batches. Result
+	// remains for quiescent single-goroutine use and internal reductions.
 	Result() *data.Relation[P]
 	// Snapshot returns the latest published consistent snapshot: the state
 	// after some whole applied batch, never mid-batch. The first call
@@ -89,6 +93,13 @@ type Options[P any] struct {
 	// materialized (migration rebuilds from leaf contents) and is
 	// incompatible with Indicators and PayloadTransform.
 	AutoReoptimize bool
+	// NoLiveStats plans from the supplied (or Init-seeded) statistics and
+	// then stops collecting: no leaf transition feeds, no per-delta rate
+	// observations. Set it when statistics are maintained centrally — a
+	// db.DB observes the coalesced stream once for all of its views, so
+	// per-view collection would be redundant work. Incompatible with
+	// AutoReoptimize, which needs a live collector to detect drift.
+	NoLiveStats bool
 	// ReoptEvery is the drift-check cadence in ApplyDelta calls (default 64).
 	ReoptEvery int
 	// DriftFactor is the per-relation cardinality growth/shrink factor that
@@ -121,8 +132,9 @@ type Engine[P any] struct {
 	indLeaves map[string][]*viewtree.Node // base relation -> indicator leaves
 	trackers  map[*viewtree.Node]*viewtree.IndicatorTracker
 
-	bases map[string]*data.Relation[P] // initial contents, dropped after Init
-	ready bool
+	bases      map[string]*data.Relation[P] // initial contents, dropped after Init
+	ownedBases map[string]bool              // bases transferred via LoadOwned (adopted, not cloned)
+	ready      bool
 
 	// optimizer state
 	stats        *data.Stats
@@ -165,6 +177,9 @@ func New[P any](q query.Query, o *vorder.Order, r ring.Ring[P], lift data.LiftFu
 
 	if opts.AutoReoptimize && (opts.Indicators || opts.PayloadTransform != nil) {
 		return nil, fmt.Errorf("ivm: AutoReoptimize is incompatible with Indicators and PayloadTransform")
+	}
+	if opts.AutoReoptimize && opts.NoLiveStats {
+		return nil, fmt.Errorf("ivm: AutoReoptimize needs live statistics (NoLiveStats set)")
 	}
 	e.stats = opts.Stats
 	if e.stats == nil && (o == nil || opts.AutoReoptimize || opts.CostMaterialize) {
@@ -336,7 +351,8 @@ func (e *Engine[P]) ViewOf(n *viewtree.Node) *data.Relation[P] {
 }
 
 // Load installs the initial contents of a relation (before Init). The
-// relation's schema must match the query's definition.
+// relation's schema must match the query's definition. The relation stays
+// owned by the caller: Init copies it into the leaf view.
 func (e *Engine[P]) Load(rel string, r *data.Relation[P]) error {
 	rd, ok := e.q.Rel(rel)
 	if !ok {
@@ -346,6 +362,23 @@ func (e *Engine[P]) Load(rel string, r *data.Relation[P]) error {
 		return fmt.Errorf("ivm: relation %q schema %v does not match %v", rel, r.Schema(), rd.Schema)
 	}
 	e.bases[rel] = r
+	return nil
+}
+
+// LoadOwned is Load with ownership transfer: the engine adopts the relation
+// as the leaf view's backing storage instead of cloning it at Init (when its
+// column order already matches the query's declared schema), so externally
+// assembled bases — e.g. a db.DB backfilling a late-created view — are
+// ingested without a second copy. The caller must not touch the relation
+// afterwards.
+func (e *Engine[P]) LoadOwned(rel string, r *data.Relation[P]) error {
+	if err := e.Load(rel, r); err != nil {
+		return err
+	}
+	if e.ownedBases == nil {
+		e.ownedBases = make(map[string]bool)
+	}
+	e.ownedBases[rel] = true
 	return nil
 }
 
@@ -412,11 +445,17 @@ func (e *Engine[P]) Init() error {
 	for _, plan := range e.plans {
 		plan.registerIndexes(e)
 	}
+	if e.opts.NoLiveStats {
+		// Planning is done; a centrally collected feed (the DB's) replaces
+		// per-engine observation, so drop the collector from the hot path.
+		e.stats = nil
+	}
 	e.attachLeafStats()
 	if e.stats != nil {
 		e.planSnap = e.stats.Snapshot()
 	}
 	e.bases = nil
+	e.ownedBases = nil
 	e.ready = true
 	return nil
 }
@@ -449,6 +488,11 @@ func (e *Engine[P]) evalFromChildren(n *viewtree.Node, eval func(*viewtree.Node)
 			// Normalize to the declared schema order.
 			rd, _ := e.q.Rel(n.Rel)
 			if base.Schema().Equal(rd.Schema) {
+				if e.ownedBases[n.Rel] {
+					// Ownership was transferred via LoadOwned: adopt the
+					// relation as the leaf's backing storage, no copy.
+					return base
+				}
 				return base.Clone()
 			}
 			return data.Project(base, rd.Schema)
@@ -493,8 +537,11 @@ func (e *Engine[P]) indicatorContents(leaf *viewtree.Node) *data.Relation[P] {
 
 // Result returns the root view: the maintained query result, as a live
 // handle that updates mutate in place. It is not safe to read while another
-// goroutine applies deltas — concurrent readers must go through Snapshot
-// (or a serve.Reader pinned on one).
+// goroutine applies deltas.
+//
+// Deprecated: read through Snapshot (or a serve.Reader pinned on one)
+// instead; the live handle is only safe quiescently, on the maintenance
+// goroutine.
 func (e *Engine[P]) Result() *data.Relation[P] {
 	if v, ok := e.views[e.root]; ok {
 		return v.Relation

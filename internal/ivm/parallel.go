@@ -245,6 +245,56 @@ func (p *Parallel[P]) Load(rel string, r *data.Relation[P]) error {
 	return nil
 }
 
+// LoadOwned is Load with ownership transfer (see Engine.LoadOwned). Shard
+// partitions are fresh relations and are always handed over owned; broadcast
+// relations give the original to the first shard and owned clones to the
+// rest, so no shard re-copies at Init. Inner maintainers that do not adopt
+// bases fall back to plain Load.
+func (p *Parallel[P]) LoadOwned(rel string, r *data.Relation[P]) error {
+	if !p.Sharded() {
+		return loadMaybeOwned(p.shards[0], rel, r)
+	}
+	if r.Schema().Contains(p.shardVar) {
+		parts, err := data.Split(r, p.shardVar, len(p.shards))
+		if err != nil {
+			return err
+		}
+		for s, part := range parts {
+			if err := loadMaybeOwned(p.shards[s], rel, part); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for s, m := range p.shards {
+		in := r
+		if s > 0 {
+			in = r.Clone()
+		}
+		if err := loadMaybeOwned(m, rel, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BaseAdopter is the optional Maintainer extension for ownership-transfer
+// loading: LoadOwned adopts the relation as view backing storage instead of
+// copying it, and the caller must not touch it afterwards. Engine and
+// Parallel implement it; loaders probe for it and fall back to Load.
+type BaseAdopter[P any] interface {
+	LoadOwned(rel string, r *data.Relation[P]) error
+}
+
+// loadMaybeOwned hands a relation to a maintainer with ownership transfer
+// when supported.
+func loadMaybeOwned[P any](m Maintainer[P], rel string, r *data.Relation[P]) error {
+	if a, ok := m.(BaseAdopter[P]); ok {
+		return a.LoadOwned(rel, r)
+	}
+	return m.Load(rel, r)
+}
+
 // Init initializes every shard in parallel.
 func (p *Parallel[P]) Init() error {
 	if !p.Sharded() {

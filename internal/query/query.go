@@ -59,6 +59,13 @@ func MustNew(name string, free data.Schema, rels ...RelDef) Query {
 	return q
 }
 
+// Rename returns a copy of the query under a new name (queries are values;
+// relation definitions are shared).
+func (q Query) Rename(name string) Query {
+	q.Name = name
+	return q
+}
+
 // Vars returns the union of all relation schemas in first-occurrence order.
 func (q Query) Vars() data.Schema {
 	var out data.Schema

@@ -49,6 +49,20 @@ func NewReader[P any](src Source[P]) *Reader[P] {
 	return &Reader[P]{src: src, snap: src.Snapshot()}
 }
 
+// NewReaderAt pins a reader to an explicitly chosen epoch of the source
+// instead of its latest one. This is how cross-view consistent read sets are
+// assembled: a coordinator that owns several sources (db.DB) captures one
+// snapshot per view at the same applied batch and hands each out via
+// NewReaderAt, so every reader of the set observes the same prefix of the
+// update stream. Refresh still advances through the live source (and never
+// regresses). A nil snapshot falls back to the source's current epoch.
+func NewReaderAt[P any](src Source[P], snap *ivm.ViewSnapshot[P]) *Reader[P] {
+	if snap == nil {
+		return NewReader(src)
+	}
+	return &Reader[P]{src: src, snap: snap}
+}
+
 // Epoch returns the pinned epoch number. Epochs are strictly monotonic per
 // source; within one Reader they never regress.
 func (r *Reader[P]) Epoch() uint64 { return r.snap.Epoch }

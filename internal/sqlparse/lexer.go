@@ -88,7 +88,7 @@ func lex(input string) ([]token, error) {
 			toks = append(toks, token{tokIdent, input[i:j], i})
 			i = j
 		default:
-			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+			return nil, &ParseError{Msg: fmt.Sprintf("unexpected character %q", c), Pos: i, Token: string(c)}
 		}
 	}
 	toks = append(toks, token{tokEOF, "", len(input)})

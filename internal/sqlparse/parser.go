@@ -11,6 +11,32 @@ import (
 // Catalog supplies the schema of each relation named in a query.
 type Catalog map[string]data.Schema
 
+// ParseError is a parse failure with its position: the byte offset into the
+// input and the token the parser was looking at. Every error returned by
+// Parse, ParseStatement, and the lexer is (or wraps) one, so callers can
+// point at the offending spot.
+type ParseError struct {
+	// Msg describes the failure.
+	Msg string
+	// Pos is the byte offset of the offending token in the input.
+	Pos int
+	// Token is the offending token's text ("" at end of input).
+	Token string
+}
+
+func (e *ParseError) Error() string {
+	near := "end of input"
+	if e.Token != "" {
+		near = fmt.Sprintf("%q", e.Token)
+	}
+	return fmt.Sprintf("sqlparse: %s at offset %d near %s", e.Msg, e.Pos, near)
+}
+
+// errAt builds a ParseError anchored at a token.
+func errAt(t token, format string, args ...any) error {
+	return &ParseError{Msg: fmt.Sprintf(format, args...), Pos: t.pos, Token: t.text}
+}
+
 // Parsed is a parsed query: the internal join-aggregate representation plus
 // the aggregate's structure.
 type Parsed struct {
@@ -84,7 +110,7 @@ func (p *parser) next() token {
 func (p *parser) expect(kind tokenKind, what string) (token, error) {
 	t := p.next()
 	if t.kind != kind {
-		return t, fmt.Errorf("sqlparse: expected %s, got %s at offset %d", what, t, t.pos)
+		return t, errAt(t, "expected %s, got %s", what, t)
 	}
 	return t, nil
 }
@@ -92,35 +118,46 @@ func (p *parser) expect(kind tokenKind, what string) (token, error) {
 func (p *parser) expectKeyword(kw string) error {
 	t := p.next()
 	if !isKeyword(t, kw) {
-		return fmt.Errorf("sqlparse: expected %s, got %s at offset %d", strings.ToUpper(kw), t, t.pos)
+		return errAt(t, "expected %s, got %s", strings.ToUpper(kw), t)
 	}
 	return nil
 }
 
-// column parses [rel.]var and returns the variable name; the qualifier is
-// validated against the catalog when present.
-func (p *parser) column() (string, error) {
+// column parses [rel.]var and returns the variable name with the token that
+// names it; the qualifier is validated against the catalog when present.
+func (p *parser) column() (string, token, error) {
 	t, err := p.expect(tokIdent, "column name")
 	if err != nil {
-		return "", err
+		return "", t, err
 	}
 	name := t.text
 	if p.peek().kind == tokDot {
 		p.next()
 		v, err := p.expect(tokIdent, "column name after qualifier")
 		if err != nil {
-			return "", err
+			return "", v, err
 		}
 		schema, ok := p.cat[name]
 		if !ok {
-			return "", fmt.Errorf("sqlparse: unknown relation %q qualifying %q", name, v.text)
+			return "", t, errAt(t, "unknown relation %q qualifying %q", name, v.text)
 		}
 		if !schema.Contains(v.text) {
-			return "", fmt.Errorf("sqlparse: relation %q has no column %q", name, v.text)
+			return "", v, errAt(v, "relation %q has no column %q", name, v.text)
 		}
-		return v.text, nil
+		return v.text, v, nil
 	}
-	return name, nil
+	return name, t, nil
+}
+
+// end consumes an optional semicolon and requires end of input.
+func (p *parser) end() error {
+	if p.peek().kind == tokSemicolon {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return errAt(t, "trailing input %s", t)
+	}
+	return nil
 }
 
 // Parse parses one query of the dialect against the catalog.
@@ -130,21 +167,39 @@ func Parse(sql string, cat Catalog) (Parsed, error) {
 		return Parsed{}, err
 	}
 	p := &parser{toks: toks, cat: cat}
+	out, err := p.parseSelect("sql")
+	if err != nil {
+		return Parsed{}, err
+	}
+	if err := p.end(); err != nil {
+		return Parsed{}, err
+	}
+	return out, nil
+}
 
+// parseSelect parses SELECT ... [GROUP BY ...] from the current position,
+// leaving the parser on the first token after the query body. The resulting
+// query carries the given name.
+func (p *parser) parseSelect(name string) (Parsed, error) {
 	if err := p.expectKeyword("select"); err != nil {
 		return Parsed{}, err
 	}
 
 	// Select list: group-by columns then at most one SUM(...) or COUNT(*).
-	var selectCols []string
+	type selCol struct {
+		name string
+		tok  token
+	}
+	var selectCols []selCol
 	out := Parsed{Constant: 1}
+	var sumVarToks []token
 	sawAgg := false
 	for {
 		t := p.peek()
 		switch {
 		case isKeyword(t, "sum"):
 			if sawAgg {
-				return Parsed{}, fmt.Errorf("sqlparse: multiple aggregates at offset %d", t.pos)
+				return Parsed{}, errAt(t, "multiple aggregates")
 			}
 			sawAgg = true
 			p.next()
@@ -159,17 +214,18 @@ func Parse(sql string, cat Catalog) (Parsed, error) {
 					p.next()
 					var c float64
 					if _, err := fmt.Sscanf(tt.text, "%g", &c); err != nil {
-						return Parsed{}, fmt.Errorf("sqlparse: bad number %q at offset %d", tt.text, tt.pos)
+						return Parsed{}, errAt(tt, "bad number %q", tt.text)
 					}
 					out.Constant *= c
 				case tokIdent:
-					v, err := p.column()
+					v, vt, err := p.column()
 					if err != nil {
 						return Parsed{}, err
 					}
 					out.SumVars = append(out.SumVars, v)
+					sumVarToks = append(sumVarToks, vt)
 				default:
-					return Parsed{}, fmt.Errorf("sqlparse: expected SUM term, got %s at offset %d", tt, tt.pos)
+					return Parsed{}, errAt(tt, "expected SUM term, got %s", tt)
 				}
 				if p.peek().kind == tokStar {
 					p.next()
@@ -182,7 +238,7 @@ func Parse(sql string, cat Catalog) (Parsed, error) {
 			}
 		case isKeyword(t, "count"):
 			if sawAgg {
-				return Parsed{}, fmt.Errorf("sqlparse: multiple aggregates at offset %d", t.pos)
+				return Parsed{}, errAt(t, "multiple aggregates")
 			}
 			sawAgg = true
 			p.next()
@@ -196,13 +252,13 @@ func Parse(sql string, cat Catalog) (Parsed, error) {
 				return Parsed{}, err
 			}
 		case t.kind == tokIdent:
-			v, err := p.column()
+			v, vt, err := p.column()
 			if err != nil {
 				return Parsed{}, err
 			}
-			selectCols = append(selectCols, v)
+			selectCols = append(selectCols, selCol{name: v, tok: vt})
 		default:
-			return Parsed{}, fmt.Errorf("sqlparse: unexpected %s in select list at offset %d", t, t.pos)
+			return Parsed{}, errAt(t, "unexpected %s in select list", t)
 		}
 		if p.peek().kind == tokComma {
 			p.next()
@@ -211,13 +267,14 @@ func Parse(sql string, cat Catalog) (Parsed, error) {
 		break
 	}
 	if !sawAgg {
-		return Parsed{}, fmt.Errorf("sqlparse: the select list needs a SUM(...) or COUNT(*) aggregate")
+		return Parsed{}, errAt(p.peek(), "the select list needs a SUM(...) or COUNT(*) aggregate")
 	}
 
 	if err := p.expectKeyword("from"); err != nil {
 		return Parsed{}, err
 	}
 	var rels []query.RelDef
+	seenRel := make(map[string]bool)
 	for {
 		t, err := p.expect(tokIdent, "relation name")
 		if err != nil {
@@ -225,8 +282,12 @@ func Parse(sql string, cat Catalog) (Parsed, error) {
 		}
 		schema, ok := p.cat[t.text]
 		if !ok {
-			return Parsed{}, fmt.Errorf("sqlparse: relation %q not in catalog", t.text)
+			return Parsed{}, errAt(t, "unknown relation %q (not in catalog)", t.text)
 		}
+		if seenRel[t.text] {
+			return Parsed{}, errAt(t, "duplicate relation %q in FROM", t.text)
+		}
+		seenRel[t.text] = true
 		rels = append(rels, query.RelDef{Name: t.text, Schema: schema})
 
 		if isKeyword(p.peek(), "natural") {
@@ -241,17 +302,19 @@ func Parse(sql string, cat Catalog) (Parsed, error) {
 
 	// Optional GROUP BY, which must repeat the plain select columns.
 	var free data.Schema
+	groupToks := make(map[string]token)
 	if isKeyword(p.peek(), "group") {
 		p.next()
 		if err := p.expectKeyword("by"); err != nil {
 			return Parsed{}, err
 		}
 		for {
-			v, err := p.column()
+			v, vt, err := p.column()
 			if err != nil {
 				return Parsed{}, err
 			}
 			free = free.Union(data.Schema{v})
+			groupToks[v] = vt
 			if p.peek().kind == tokComma {
 				p.next()
 				continue
@@ -259,38 +322,45 @@ func Parse(sql string, cat Catalog) (Parsed, error) {
 			break
 		}
 	}
-	if p.peek().kind == tokSemicolon {
-		p.next()
-	}
-	if t := p.peek(); t.kind != tokEOF {
-		return Parsed{}, fmt.Errorf("sqlparse: trailing input %s at offset %d", t, t.pos)
-	}
 
-	// The plain select columns must match the GROUP BY set.
+	// The plain select columns must match the GROUP BY set, both ways.
 	sel := data.Schema(nil)
 	for _, c := range selectCols {
-		sel = sel.Union(data.Schema{c})
+		if !free.Contains(c.name) {
+			return Parsed{}, errAt(c.tok, "select column %q missing from GROUP BY", c.name)
+		}
+		sel = sel.Union(data.Schema{c.name})
 	}
-	if !sel.SameSet(free) {
-		return Parsed{}, fmt.Errorf("sqlparse: select columns %v must equal GROUP BY %v", sel, free)
+	for _, v := range free {
+		if !sel.Contains(v) {
+			return Parsed{}, errAt(groupToks[v], "GROUP BY column %q missing from the select list", v)
+		}
 	}
 
-	q, err := query.New("sql", free, rels...)
+	// Summed and grouping variables must occur in the join.
+	var vars data.Schema
+	for _, rd := range rels {
+		vars = vars.Union(rd.Schema)
+	}
+	for i, v := range out.SumVars {
+		if !vars.Contains(v) {
+			return Parsed{}, errAt(sumVarToks[i], "SUM variable %q not in any relation", v)
+		}
+		if free.Contains(v) {
+			return Parsed{}, errAt(sumVarToks[i], "SUM variable %q is a GROUP BY column", v)
+		}
+	}
+	for _, v := range free {
+		if !vars.Contains(v) {
+			return Parsed{}, errAt(groupToks[v], "GROUP BY column %q not in any relation", v)
+		}
+	}
+	q, err := query.New(name, free, rels...)
 	if err != nil {
 		return Parsed{}, err
 	}
-	// Summed and grouping variables must occur in the join.
-	vars := q.Vars()
-	for _, v := range out.SumVars {
-		if !vars.Contains(v) {
-			return Parsed{}, fmt.Errorf("sqlparse: SUM variable %q not in any relation", v)
-		}
-		if free.Contains(v) {
-			return Parsed{}, fmt.Errorf("sqlparse: SUM variable %q is a GROUP BY column", v)
-		}
-	}
 	if len(out.SumVars) == 0 && out.Constant != 1 {
-		return Parsed{}, fmt.Errorf("sqlparse: SUM of a bare constant other than 1 is not supported; use SUM(1)")
+		return Parsed{}, errAt(p.peek(), "SUM of a bare constant other than 1 is not supported; use SUM(1)")
 	}
 	out.Query = q
 	return out, nil
