@@ -1,0 +1,55 @@
+// Command benchdiff compares two BENCH JSON reports produced by
+// `fivm bench` and exits nonzero when the second regresses the first:
+// scenario throughput down, microbenchmark ns/op up beyond the threshold,
+// or any allocs/op increase at all. CI runs it against the committed
+// baseline at the repo root.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] baseline.json current.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fivm/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10,
+		"relative slowdown tolerated before a metric counts as a regression (0.10 = 10%); allocs/op increases are always regressions")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] baseline.json current.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := bench.ReadReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := bench.ReadReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	regs := bench.Compare(base, cur, *threshold)
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: ok, no regressions beyond %.0f%% (%d scenario rows, %d microbenchmarks compared)\n",
+			*threshold*100, len(base.Scenarios), len(base.Micro))
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", r.String())
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", len(regs), *threshold*100)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"fivm/internal/bench"
+)
+
+// runBench executes the continuous-benchmark suite and writes the report to
+// out, optionally wrapping the run in a CPU profile and dumping a heap
+// profile afterwards.
+func runBench(out, cpuprofile, memprofile string, tune func(*bench.SuiteConfig)) error {
+	cfg := bench.DefaultSuite()
+	tune(&cfg)
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
+	rep := bench.RunSuite(cfg)
+	el := time.Since(start)
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // profile live state, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("bench: %d scenario rows, %d microbenchmarks in %s -> %s\n",
+		len(rep.Scenarios), len(rep.Micro), el.Round(time.Millisecond), out)
+	for _, s := range rep.Scenarios {
+		fmt.Printf("  %-10s %-18s %12.0f tuples/s  %s\n", s.Scenario, s.Case, s.ThroughputTPS, s.Status)
+	}
+	for _, m := range rep.Micro {
+		fmt.Printf("  micro      %-26s %10.1f ns/op  %d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+	}
+	return nil
+}

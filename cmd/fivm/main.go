@@ -47,6 +47,10 @@ Experiments (paper artifact each regenerates):
                       update batches into every registered view at once
   multiview           shared-ingest DB vs N separate engines over one
                       stream (-views N concurrent views)
+  bench               continuous-benchmark suite: fig7/fig13/mixed/multiview
+                      at CI scale plus hot-path microbenchmarks, written as
+                      machine-readable JSON (-o, default BENCH_6.json) for
+                      cmd/benchdiff; -cpuprofile/-memprofile for pprof
   all                 everything above at default scale
 
 Flags:
@@ -71,7 +75,13 @@ func main() {
 	noScalar := fs.Bool("no-scalar", false, "skip the per-aggregate scalar competitors (DBT, 1-IVM)")
 	autoOrder := fs.Bool("auto-order", false, "let the cost-based optimizer choose variable orders (fig7, fig13, explain) instead of the handpicked ones")
 	views := fs.Int("views", 4, "concurrent views for the multiview experiment")
+	benchOut := fs.String("o", "BENCH_6.json", "output path for the bench report (bench)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench suite to this file (bench)")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the bench suite to this file (bench)")
+	noMicro := fs.Bool("no-micro", false, "skip the hot-path microbenchmarks (bench)")
 	fs.Parse(os.Args[2:])
+	flagSet := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
 
 	retailer := datasets.DefaultRetailer()
 	retailer.Dates *= *scale
@@ -148,6 +158,7 @@ func main() {
 		cfg.Readers = *readers
 		cfg.Twitter = twitter
 		cfg.AutoOrder = *autoOrder
+		cfg.IncludeScalar = !*noScalar
 		print(bench.Fig13(cfg)...)
 	case "triangle-indicator":
 		cfg := bench.DefaultFig13()
@@ -178,6 +189,33 @@ func main() {
 	case "repl":
 		ds := pickDataset(*dataset, retailer, housing, twitter)
 		if err := repl(ds, os.Stdin, os.Stdout, *batch, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "bench":
+		if err := runBench(*benchOut, *cpuprofile, *memprofile, func(cfg *bench.SuiteConfig) {
+			// The committed baseline uses DefaultSuite verbatim; flags only
+			// override when explicitly set so plain `fivm bench` stays
+			// comparable to it.
+			if flagSet["batch"] {
+				cfg.BatchSize = *batch
+			}
+			if flagSet["timeout"] {
+				cfg.Timeout = *timeout
+			}
+			if flagSet["workers"] {
+				cfg.Workers = *workers
+			}
+			if flagSet["readers"] {
+				cfg.Readers = *readers
+			}
+			if flagSet["views"] {
+				cfg.Views = *views
+			}
+			if *noMicro {
+				cfg.Micro = false
+			}
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -146,7 +146,7 @@ func TestFig12Runs(t *testing.T) {
 }
 
 func TestFig13Runs(t *testing.T) {
-	cfg := Fig13Config{BatchSize: 50, Timeout: 2 * time.Second, Twitter: tinyTwitter()}
+	cfg := Fig13Config{BatchSize: 50, Timeout: 2 * time.Second, Twitter: tinyTwitter(), IncludeScalar: true}
 	tables := Fig13(cfg)
 	if len(tables) != 3 {
 		t.Fatalf("tables = %d", len(tables))
@@ -157,7 +157,7 @@ func TestFig13Runs(t *testing.T) {
 }
 
 func TestTriangleIndicatorShape(t *testing.T) {
-	cfg := Fig13Config{BatchSize: 50, Timeout: 2 * time.Second, Twitter: tinyTwitter()}
+	cfg := Fig13Config{BatchSize: 50, Timeout: 2 * time.Second, Twitter: tinyTwitter(), IncludeScalar: true}
 	tb := TriangleIndicator(cfg)
 	if len(tb.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tb.Rows))

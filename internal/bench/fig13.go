@@ -26,14 +26,18 @@ type Fig13Config struct {
 	// AutoOrder replaces the handpicked A-B-C order with an
 	// optimizer-chosen one (engines self-plan from dataset statistics).
 	AutoOrder bool
+	// IncludeScalar adds the per-aggregate DBT and 1-IVM competitors
+	// (very slow by design — that is the result).
+	IncludeScalar bool
 }
 
 // DefaultFig13 is a laptop-scale configuration.
 func DefaultFig13() Fig13Config {
 	return Fig13Config{
-		BatchSize: 1000,
-		Timeout:   10 * time.Second,
-		Twitter:   datasets.DefaultTwitter(),
+		BatchSize:     1000,
+		Timeout:       10 * time.Second,
+		Twitter:       datasets.DefaultTwitter(),
+		IncludeScalar: true,
 	}
 }
 
@@ -44,6 +48,22 @@ func DefaultFig13() Fig13Config {
 // scalar DBT is worst; 1-IVM declines linearly; F-IVM-ONE (updates to R
 // only) is orders of magnitude faster at the cost of the stored join view.
 func Fig13(cfg Fig13Config) []*Table {
+	results, served := fig13Run(cfg)
+	title := "Figure 13: cofactor over the triangle query (Twitter)"
+	if cfg.AutoOrder {
+		title += ", auto-order"
+	}
+	opts := RunOptions{Workers: cfg.Workers}
+	tables := fig7Tables(workersTitle(title, opts), results)
+	if len(served) > 0 {
+		tables = append(tables, mixedTable(workersTitle(title, opts), served))
+	}
+	return tables
+}
+
+// fig13Run executes the Figure 13 strategy runs and returns the raw results,
+// shared by the table renderer and the machine-readable suite runner.
+func fig13Run(cfg Fig13Config) ([]RunResult, []MixedResult) {
 	ds := datasets.GenTwitter(cfg.Twitter)
 	cs := newCofactorStrategies(ds.Query)
 	ord := ds.NewOrder
@@ -75,17 +95,19 @@ func Fig13(cfg Fig13Config) []*Table {
 		runServed(&results, &served, "DBT-RING", m, tripleDelta(ds.Query), stream, opts)
 		closeMaintainer(m)
 	}
-	{
-		m, err := cs.DBTScalar(nil)
-		must(err)
-		must(m.Init())
-		runServed(&results, &served, "DBT", m, floatDelta(ds.Query), stream, opts)
-	}
-	{
-		m, err := cs.FirstOrderScalar(ord())
-		must(err)
-		must(m.Init())
-		runServed(&results, &served, "1-IVM", m, floatDelta(ds.Query), stream, opts)
+	if cfg.IncludeScalar {
+		{
+			m, err := cs.DBTScalar(nil)
+			must(err)
+			must(m.Init())
+			runServed(&results, &served, "DBT", m, floatDelta(ds.Query), stream, opts)
+		}
+		{
+			m, err := cs.FirstOrderScalar(ord())
+			must(err)
+			must(m.Init())
+			runServed(&results, &served, "1-IVM", m, floatDelta(ds.Query), stream, opts)
+		}
 	}
 	{
 		m, err := cs.FIVM(ord(), []string{"R"})
@@ -93,16 +115,7 @@ func Fig13(cfg Fig13Config) []*Table {
 		must(preload(m, ds, tripleDelta(ds.Query), map[string]bool{"R": true}))
 		runServed(&results, &served, "F-IVM ONE", m, tripleDelta(ds.Query), oneStream, opts)
 	}
-
-	title := "Figure 13: cofactor over the triangle query (Twitter)"
-	if cfg.AutoOrder {
-		title += ", auto-order"
-	}
-	tables := fig7Tables(workersTitle(title, opts), results)
-	if len(served) > 0 {
-		tables = append(tables, mixedTable(workersTitle(title, opts), served))
-	}
-	return tables
+	return results, served
 }
 
 // TriangleIndicator demonstrates Appendix B: the indicator projection

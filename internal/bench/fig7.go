@@ -68,6 +68,24 @@ func fig7Dataset(cfg Fig7Config) *datasets.Dataset {
 // and 1-IVM are orders of magnitude slower (timing out on scaled streams
 // just as they time out at one hour in the paper).
 func Fig7(cfg Fig7Config) []*Table {
+	ds, results, served := fig7Run(cfg)
+	title := fmt.Sprintf("Figure 7: cofactor maintenance, %s, batches of %d", ds.Name, cfg.BatchSize)
+	if cfg.AutoOrder {
+		title += ", auto-order"
+	}
+	opts := RunOptions{Workers: cfg.Workers}
+	tables := fig7Tables(workersTitle(title, opts), results)
+	if len(served) > 0 {
+		tables = append(tables, mixedTable(workersTitle(title, opts), served))
+	}
+	return tables
+}
+
+// fig7Run executes the Figure 7 strategy runs and returns the raw results
+// (one RunResult per strategy, plus reader-side stats when cfg.Readers > 0),
+// shared by the table renderer above and the machine-readable suite runner
+// (see suite.go).
+func fig7Run(cfg Fig7Config) (*datasets.Dataset, []RunResult, []MixedResult) {
 	ds := fig7Dataset(cfg)
 	cs := newCofactorStrategies(ds.Query)
 	ord := ds.NewOrder
@@ -169,16 +187,7 @@ func Fig7(cfg Fig7Config) []*Table {
 		runServed(&results, &served, "DBT-RING ONE", m, tripleDelta(ds.Query), oneStream, opts)
 		closeMaintainer(m)
 	}
-
-	title := fmt.Sprintf("Figure 7: cofactor maintenance, %s, batches of %d", ds.Name, cfg.BatchSize)
-	if cfg.AutoOrder {
-		title += ", auto-order"
-	}
-	tables := fig7Tables(workersTitle(title, opts), results)
-	if len(served) > 0 {
-		tables = append(tables, mixedTable(workersTitle(title, opts), served))
-	}
-	return tables
+	return ds, results, served
 }
 
 // workersTitle annotates a figure title with the run's worker count.

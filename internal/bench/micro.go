@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"testing"
+
+	"fivm/internal/data"
+	"fivm/internal/ring"
+)
+
+// Hot-path microbenchmarks, defined here (not in a _test.go file) so both
+// `go test -bench` wrappers and the `fivm bench` suite runner can execute
+// them via testing.Benchmark and put the numbers in the BENCH report. Each
+// body measures one operation the storage campaign optimizes; the alloc
+// counts double as regression guards (see Compare and the alloc tests in
+// internal/data).
+
+// MicroBench couples a stable report name with a benchmark body.
+type MicroBench struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// MicroBenches returns the hot-path microbenchmark set. Names are part of
+// the BENCH schema surface: renaming one makes benchdiff report the old one
+// missing.
+func MicroBenches() []MicroBench {
+	return []MicroBench{
+		{"TupleAppendKey", microTupleAppendKey},
+		{"RelationGet", microRelationGet},
+		{"RelationMerge", microRelationMerge},
+		{"RelationMergeTripleSteady", microRelationMergeTripleSteady},
+		{"TripleAddInto", microTripleAddInto},
+		{"IndexProbe", microIndexProbe},
+		{"SnapshotPublish", microSnapshotPublish},
+	}
+}
+
+// RunMicro executes every microbenchmark through the testing harness and
+// returns the measurements.
+func RunMicro() []MicroResult {
+	out := make([]MicroResult, 0, len(MicroBenches()))
+	for _, mb := range MicroBenches() {
+		r := testing.Benchmark(mb.Fn)
+		out = append(out, MicroResult{
+			Name:        mb.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+const microKeys = 4096
+
+// microRelation builds an int-payload relation over (A, B) with microKeys
+// entries, plus the tuples used to probe it.
+func microRelation() (*data.Relation[int64], []data.Tuple) {
+	r := data.NewRelation[int64](ring.Int{}, data.NewSchema("A", "B"))
+	r.Reserve(microKeys)
+	tups := make([]data.Tuple, microKeys)
+	for i := 0; i < microKeys; i++ {
+		tups[i] = data.Ints(int64(i), int64(i%251))
+		r.Merge(tups[i], int64(i)+1)
+	}
+	return r, tups
+}
+
+func microTupleAppendKey(b *testing.B) {
+	t := data.Tuple{data.Int(123456), data.Float(3.5), data.String("key"), data.Int(-9)}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = t.AppendKey(buf[:0])
+	}
+	_ = buf
+}
+
+func microRelationGet(b *testing.B) {
+	r, tups := microRelation()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Get(tups[i%microKeys]); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func microRelationMerge(b *testing.B) {
+	r, tups := microRelation()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Merge(tups[i%microKeys], 1) // steady state: every key exists
+	}
+}
+
+func microRelationMergeTripleSteady(b *testing.B) {
+	cf := ring.Cofactor{}
+	r := data.NewRelation[ring.Triple](cf, data.NewSchema("A"))
+	tup := data.Ints(1)
+	d := cf.Mul(ring.LiftValue(0, 2), cf.Mul(ring.LiftValue(1, 3), ring.LiftValue(2, 4)))
+	r.Merge(tup, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Merge(tup, d)
+	}
+}
+
+func microTripleAddInto(b *testing.B) {
+	cf := ring.Cofactor{}
+	acc := cf.Mul(ring.LiftValue(0, 2), cf.Mul(ring.LiftValue(1, 3), ring.LiftValue(2, 4)))
+	d := acc
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.AddInto(&d)
+	}
+}
+
+func microIndexProbe(b *testing.B) {
+	ir := data.NewIndexedRelation(data.NewRelation[int64](ring.Int{}, data.NewSchema("A", "B")))
+	for i := 0; i < microKeys; i++ {
+		ir.MergeIndexed(data.Ints(int64(i%509), int64(i)), 1) // ~8 entries per bucket
+	}
+	ix := ir.EnsureIndex(data.NewSchema("A"))
+	var buf []byte
+	probe := make([]data.Tuple, 509)
+	for i := range probe {
+		probe[i] = data.Ints(int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := int64(0)
+	for i := 0; i < b.N; i++ {
+		buf = probe[i%len(probe)].AppendKey(buf[:0])
+		for e := range ix.ProbeBytes(buf).All() {
+			sum += e.Payload
+		}
+	}
+	_ = sum
+}
+
+func microSnapshotPublish(b *testing.B) {
+	r, tups := microRelation()
+	r.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Merge(tups[i%microKeys], 1)
+		r.Snapshot()
+	}
+}

@@ -1,0 +1,12 @@
+package bench
+
+import "testing"
+
+// BenchmarkMicro exposes the suite's microbenchmarks to the standard
+// harness, so `go test -bench Micro ./internal/bench/` measures exactly
+// what `fivm bench` puts in the report.
+func BenchmarkMicro(b *testing.B) {
+	for _, mb := range MicroBenches() {
+		b.Run(mb.Name, mb.Fn)
+	}
+}

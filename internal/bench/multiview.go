@@ -92,53 +92,11 @@ func specsFor(n int) []viewSpec {
 // ingests the raw stream and keeps its own statistics, as self-contained
 // pipelines must.
 func MultiView(cfg MultiViewConfig) []*Table {
-	if cfg.Views <= 0 {
-		cfg.Views = 4
-	}
-	if cfg.Group <= 0 {
-		cfg.Group = 1
-	}
-	ds := datasets.GenRetailer(cfg.Retailer)
-	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
-	total := 0
-	for _, b := range stream {
-		total += len(b.Tuples)
-	}
-	specs := specsFor(cfg.Views)
-
-	reps := cfg.Reps
-	if reps <= 0 {
-		reps = 1
-	}
-	var shared, separate time.Duration
-	var sharedPer, sepPer []time.Duration
-	var sharedErr, sepErr error
-	for r := 0; r < reps; r++ {
-		el, per, err := runMultiViewShared(ds, specs, stream, cfg)
-		if err != nil {
-			sharedErr = err
-			break
-		}
-		if r == 0 || el < shared {
-			shared, sharedPer = el, per
-		}
-		el, per, err = runMultiViewSeparate(ds, specs, stream, cfg)
-		if err != nil {
-			sepErr = err
-			break
-		}
-		if r == 0 || el < separate {
-			separate, sepPer = el, per
-		}
-	}
-	if sharedErr != nil || sepErr != nil {
-		if sharedPer == nil {
-			sharedPer = make([]time.Duration, len(specs))
-		}
-		if sepPer == nil {
-			sepPer = make([]time.Duration, len(specs))
-		}
-	}
+	o := multiViewRun(cfg)
+	cfg, specs, total := o.cfg, o.specs, o.total
+	shared, separate := o.shared, o.separate
+	sharedPer, sepPer := o.sharedPer, o.sepPer
+	sharedErr, sepErr := o.sharedErr, o.sepErr
 
 	per := &Table{
 		Title:  fmt.Sprintf("multiview per-view maintenance (%d views, batch %d, workers %d)", cfg.Views, cfg.BatchSize, max(1, cfg.Workers)),
@@ -178,6 +136,67 @@ func MultiView(cfg MultiViewConfig) []*Table {
 		agg.Note += fmt.Sprintf("; shared-ingest speedup %.2fx", separate.Seconds()/shared.Seconds())
 	}
 	return []*Table{per, agg}
+}
+
+// multiViewOutcome is the raw result of one multi-view experiment: best-rep
+// wall time and per-view maintain times for both architectures, plus the
+// normalized config the run actually used.
+type multiViewOutcome struct {
+	cfg               MultiViewConfig
+	specs             []viewSpec
+	total             int // stream tuples applied per side
+	shared, separate  time.Duration
+	sharedPer, sepPer []time.Duration
+	sharedErr, sepErr error
+}
+
+// multiViewRun executes the experiment and returns the raw outcome, shared
+// by the table renderer and the machine-readable suite runner.
+func multiViewRun(cfg MultiViewConfig) multiViewOutcome {
+	if cfg.Views <= 0 {
+		cfg.Views = 4
+	}
+	if cfg.Group <= 0 {
+		cfg.Group = 1
+	}
+	ds := datasets.GenRetailer(cfg.Retailer)
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
+	o := multiViewOutcome{cfg: cfg, specs: specsFor(cfg.Views)}
+	for _, b := range stream {
+		o.total += len(b.Tuples)
+	}
+
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		el, per, err := runMultiViewShared(ds, o.specs, stream, cfg)
+		if err != nil {
+			o.sharedErr = err
+			break
+		}
+		if r == 0 || el < o.shared {
+			o.shared, o.sharedPer = el, per
+		}
+		el, per, err = runMultiViewSeparate(ds, o.specs, stream, cfg)
+		if err != nil {
+			o.sepErr = err
+			break
+		}
+		if r == 0 || el < o.separate {
+			o.separate, o.sepPer = el, per
+		}
+	}
+	if o.sharedErr != nil || o.sepErr != nil {
+		if o.sharedPer == nil {
+			o.sharedPer = make([]time.Duration, len(o.specs))
+		}
+		if o.sepPer == nil {
+			o.sepPer = make([]time.Duration, len(o.specs))
+		}
+	}
+	return o
 }
 
 // runMultiViewShared drives one DB with every view registered.

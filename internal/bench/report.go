@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// ReportSchema identifies the BENCH JSON layout; bump on breaking changes so
+// benchdiff refuses to compare incompatible files.
+const ReportSchema = "fivm-bench/v1"
+
+// Report is the machine-readable benchmark artifact (BENCH_*.json at the
+// repo root): per-scenario maintenance results plus hot-path microbenchmark
+// numbers, with enough environment metadata to judge comparability.
+type Report struct {
+	Schema    string `json:"schema"`
+	CreatedAt string `json:"created_at,omitempty"`
+	Go        string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Micro     []MicroResult    `json:"micro"`
+}
+
+// ScenarioResult is one (scenario, case) row: a maintenance strategy driven
+// through a stream, or one side of the multiview experiment.
+type ScenarioResult struct {
+	// Scenario is the experiment family: fig7, fig13, mixed, multiview.
+	Scenario string `json:"scenario"`
+	// Case identifies the run within the scenario (strategy or mode name).
+	Case    string `json:"case"`
+	Batch   int    `json:"batch,omitempty"`
+	Group   int    `json:"group,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	Readers int    `json:"readers,omitempty"`
+	Views   int    `json:"views,omitempty"`
+
+	Tuples        int     `json:"tuples"`
+	ThroughputTPS float64 `json:"throughput_tps"`
+	P50BatchNs    int64   `json:"p50_batch_ns,omitempty"`
+	P99BatchNs    int64   `json:"p99_batch_ns,omitempty"`
+	// PeakMemBytes is the maintainer's own accounting of materialized state;
+	// PeakRSSBytes is the process-level high-water mark sampled from
+	// runtime.ReadMemStats (Sys: bytes obtained from the OS) after the run.
+	PeakMemBytes int    `json:"peak_mem_bytes,omitempty"`
+	PeakRSSBytes uint64 `json:"peak_rss_bytes,omitempty"`
+	// ReaderOpsPerSec is the aggregate snapshot-reader throughput of mixed
+	// runs (zero elsewhere).
+	ReaderOpsPerSec float64 `json:"reader_ops_per_sec,omitempty"`
+	Status          string  `json:"status"`
+}
+
+// MicroResult is one hot-path microbenchmark measurement (see micro.go).
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// NewReport returns an empty report stamped with the current environment.
+func NewReport() *Report {
+	return &Report{
+		Schema:    ReportSchema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadReport loads and validates a BENCH JSON file.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// Regression is one comparison finding between two reports.
+type Regression struct {
+	Kind   string // "scenario" or "micro"
+	Name   string // "scenario/case" or micro name
+	Metric string // "throughput_tps", "ns_per_op", "allocs_per_op", "missing"
+	Old    float64
+	New    float64
+	// Ratio is new/old for cost metrics and old/new for throughput, so > 1
+	// always means "worse by that factor".
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s %s: present in baseline, missing in new report", r.Kind, r.Name)
+	}
+	return fmt.Sprintf("%s %s: %s %.4g -> %.4g (%.2fx worse)", r.Kind, r.Name, r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// Compare diffs two reports and returns the regressions in cur relative to
+// base: scenario throughput drops and microbenchmark ns/op increases beyond
+// threshold (a fraction: 0.10 flags >10% changes), and any allocs/op
+// increase at all — allocation counts are deterministic, so they get no
+// noise allowance. Entries present only in cur (new benchmarks) are fine;
+// entries present only in base are reported as missing. Timed-out or
+// errored baseline scenarios are skipped: their throughput is not a
+// meaningful bar.
+func Compare(base, cur *Report, threshold float64) []Regression {
+	var regs []Regression
+
+	scen := make(map[string]ScenarioResult, len(cur.Scenarios))
+	for _, s := range cur.Scenarios {
+		scen[s.Scenario+"/"+s.Case] = s
+	}
+	for _, old := range base.Scenarios {
+		key := old.Scenario + "/" + old.Case
+		if old.Status != "ok" || old.ThroughputTPS <= 0 {
+			continue
+		}
+		now, ok := scen[key]
+		if !ok {
+			regs = append(regs, Regression{Kind: "scenario", Name: key, Metric: "missing"})
+			continue
+		}
+		if now.Status != "ok" {
+			regs = append(regs, Regression{Kind: "scenario", Name: key, Metric: "throughput_tps",
+				Old: old.ThroughputTPS, New: 0, Ratio: 0})
+			continue
+		}
+		if now.ThroughputTPS < old.ThroughputTPS*(1-threshold) {
+			regs = append(regs, Regression{Kind: "scenario", Name: key, Metric: "throughput_tps",
+				Old: old.ThroughputTPS, New: now.ThroughputTPS, Ratio: old.ThroughputTPS / now.ThroughputTPS})
+		}
+	}
+
+	micro := make(map[string]MicroResult, len(cur.Micro))
+	for _, m := range cur.Micro {
+		micro[m.Name] = m
+	}
+	for _, old := range base.Micro {
+		now, ok := micro[old.Name]
+		if !ok {
+			regs = append(regs, Regression{Kind: "micro", Name: old.Name, Metric: "missing"})
+			continue
+		}
+		if old.NsPerOp > 0 && now.NsPerOp > old.NsPerOp*(1+threshold) {
+			regs = append(regs, Regression{Kind: "micro", Name: old.Name, Metric: "ns_per_op",
+				Old: old.NsPerOp, New: now.NsPerOp, Ratio: now.NsPerOp / old.NsPerOp})
+		}
+		if now.AllocsPerOp > old.AllocsPerOp {
+			ratio := float64(now.AllocsPerOp + 1) // old may be 0
+			if old.AllocsPerOp > 0 {
+				ratio = float64(now.AllocsPerOp) / float64(old.AllocsPerOp)
+			}
+			regs = append(regs, Regression{Kind: "micro", Name: old.Name, Metric: "allocs_per_op",
+				Old: float64(old.AllocsPerOp), New: float64(now.AllocsPerOp), Ratio: ratio})
+		}
+	}
+
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Kind != regs[j].Kind {
+			return regs[i].Kind < regs[j].Kind
+		}
+		return regs[i].Name < regs[j].Name
+	})
+	return regs
+}

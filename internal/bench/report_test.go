@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := NewReport()
+	r.Scenarios = []ScenarioResult{
+		{Scenario: "fig7", Case: "F-IVM", Tuples: 1000, ThroughputTPS: 100000, Status: "ok"},
+		{Scenario: "fig7", Case: "DBT-RING", Tuples: 1000, ThroughputTPS: 20000, Status: "ok"},
+		{Scenario: "fig7", Case: "1-IVM", Tuples: 100, ThroughputTPS: 50, Status: "timeout"},
+		{Scenario: "multiview", Case: "shared-db", Tuples: 4000, ThroughputTPS: 80000, Status: "ok"},
+	}
+	r.Micro = []MicroResult{
+		{Name: "RelationGet", NsPerOp: 40, AllocsPerOp: 0},
+		{Name: "SnapshotPublish", NsPerOp: 9000, AllocsPerOp: 14},
+	}
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	r := sampleReport()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ReportSchema || len(got.Scenarios) != 4 || len(got.Micro) != 2 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if got.Scenarios[0].ThroughputTPS != 100000 || got.Micro[1].AllocsPerOp != 14 {
+		t.Fatalf("round trip mangled values: %+v", got)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	r := sampleReport()
+	r.Schema = "fivm-bench/v0"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestCompareIdenticalIsClean(t *testing.T) {
+	if regs := Compare(sampleReport(), sampleReport(), 0.10); len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %v", regs)
+	}
+}
+
+func TestCompareWithinThresholdIsClean(t *testing.T) {
+	cur := sampleReport()
+	cur.Scenarios[0].ThroughputTPS *= 0.95 // -5% < 10% threshold
+	cur.Micro[0].NsPerOp *= 1.08           // +8% < 10% threshold
+	if regs := Compare(sampleReport(), cur, 0.10); len(regs) != 0 {
+		t.Fatalf("within-threshold noise flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsInjectedRegressions(t *testing.T) {
+	cur := sampleReport()
+	cur.Scenarios[0].ThroughputTPS *= 0.8 // -20% throughput: regression
+	cur.Micro[0].NsPerOp *= 1.5           // +50% ns/op: regression
+	cur.Micro[0].AllocsPerOp = 1          // any alloc increase: regression
+	regs := Compare(sampleReport(), cur, 0.10)
+	want := map[string]bool{
+		"scenario fig7/F-IVM throughput_tps": false,
+		"micro RelationGet ns_per_op":        false,
+		"micro RelationGet allocs_per_op":    false,
+	}
+	for _, r := range regs {
+		key := r.Kind + " " + r.Name + " " + r.Metric
+		if _, ok := want[key]; !ok {
+			t.Errorf("unexpected regression %s", r)
+			continue
+		}
+		want[key] = true
+		if r.Ratio <= 1 {
+			t.Errorf("%s: ratio %.2f, want > 1", key, r.Ratio)
+		}
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("regression %s not flagged", key)
+		}
+	}
+}
+
+func TestCompareSkipsNonOKBaseline(t *testing.T) {
+	cur := sampleReport()
+	// The timed-out baseline row regressing further must not fire: its
+	// throughput is an artifact of where the timeout cut the stream.
+	cur.Scenarios[2].ThroughputTPS = 1
+	if regs := Compare(sampleReport(), cur, 0.10); len(regs) != 0 {
+		t.Fatalf("timed-out baseline used as a bar: %v", regs)
+	}
+}
+
+func TestCompareFlagsMissingAndErrored(t *testing.T) {
+	cur := sampleReport()
+	cur.Scenarios = cur.Scenarios[:1]                     // drop DBT-RING and shared-db rows
+	cur.Scenarios[0].Status = "error: engine fell over"   // and break the survivor
+	cur.Micro = []MicroResult{{Name: "SnapshotPublish"}}  // drop RelationGet
+	cur.Micro[0].NsPerOp, cur.Micro[0].AllocsPerOp = 1, 0 // improvements are fine
+	regs := Compare(sampleReport(), cur, 0.10)
+	metrics := map[string]string{}
+	for _, r := range regs {
+		metrics[r.Kind+" "+r.Name] = r.Metric
+	}
+	if metrics["scenario fig7/DBT-RING"] != "missing" ||
+		metrics["scenario multiview/shared-db"] != "missing" ||
+		metrics["micro RelationGet"] != "missing" {
+		t.Errorf("missing entries not flagged: %v", regs)
+	}
+	if metrics["scenario fig7/F-IVM"] != "throughput_tps" {
+		t.Errorf("errored current row not flagged: %v", regs)
+	}
+}
+
+func TestMicroBenchNamesStable(t *testing.T) {
+	// The names are the BENCH schema surface benchdiff keys on; this test
+	// pins them so a rename is a conscious baseline-refreshing change.
+	want := []string{
+		"TupleAppendKey", "RelationGet", "RelationMerge",
+		"RelationMergeTripleSteady", "TripleAddInto", "IndexProbe",
+		"SnapshotPublish",
+	}
+	got := MicroBenches()
+	if len(got) != len(want) {
+		t.Fatalf("got %d microbenchmarks, want %d", len(got), len(want))
+	}
+	for i, mb := range got {
+		if mb.Name != want[i] {
+			t.Errorf("micro[%d] = %q, want %q", i, mb.Name, want[i])
+		}
+		if mb.Fn == nil {
+			t.Errorf("micro %q has nil body", mb.Name)
+		}
+	}
+}
+
+func TestBestOfKeepsBestRep(t *testing.T) {
+	mk := func(tput float64, status string) ScenarioResult {
+		return ScenarioResult{Scenario: "fig7", Case: "F-IVM", ThroughputTPS: tput, Status: status}
+	}
+	runs := [][]ScenarioResult{
+		{mk(100, "ok"), {Scenario: "fig7", Case: "DBT-RING", ThroughputTPS: 50, Status: "timeout"}},
+		{mk(140, "ok"), {Scenario: "fig7", Case: "DBT-RING", ThroughputTPS: 40, Status: "ok"}},
+		{mk(120, "ok")},
+	}
+	got := bestOf(runs)
+	if len(got) != 2 {
+		t.Fatalf("got %d rows, want 2", len(got))
+	}
+	if got[0].ThroughputTPS != 140 {
+		t.Errorf("F-IVM best rep %v, want 140", got[0].ThroughputTPS)
+	}
+	// An ok rep beats a faster timed-out one.
+	if got[1].Status != "ok" || got[1].ThroughputTPS != 40 {
+		t.Errorf("DBT-RING kept %v/%s, want 40/ok", got[1].ThroughputTPS, got[1].Status)
+	}
+}

@@ -1,0 +1,83 @@
+package data
+
+import (
+	"testing"
+
+	"fivm/internal/ring"
+)
+
+// Zero-allocation guards for the maintenance hot path. Unlike the
+// benchmarks (which report allocs/op but fail nothing), these fail the
+// build the moment a "small" change puts an allocation back on the per-
+// tuple path — the class of regression that erased an order of magnitude
+// in early profiles. AllocsPerRun warms up once, so one-time growth
+// (table rehash, scratch buffers) is excluded by design: the guards pin
+// steady state.
+
+func guardZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guards run in the non-race pass")
+	}
+	if allocs := testing.AllocsPerRun(200, f); allocs != 0 {
+		t.Errorf("%s: %.1f allocs/op, want 0", name, allocs)
+	}
+}
+
+func TestAllocGuardTupleAppendKey(t *testing.T) {
+	tup := Tuple{Int(123456), Float(3.5), String("key"), Int(-9)}
+	buf := make([]byte, 0, 64)
+	guardZeroAllocs(t, "Tuple.AppendKey", func() {
+		buf = tup.AppendKey(buf[:0])
+	})
+}
+
+func TestAllocGuardRelationGet(t *testing.T) {
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	tups := make([]Tuple, 512)
+	for i := range tups {
+		tups[i] = Ints(int64(i), int64(i%13))
+		r.Merge(tups[i], int64(i)+1)
+	}
+	i := 0
+	guardZeroAllocs(t, "Relation.Get", func() {
+		if _, ok := r.Get(tups[i%len(tups)]); !ok {
+			t.Fatal("missing key")
+		}
+		i++
+	})
+}
+
+func TestAllocGuardRelationMergeSteady(t *testing.T) {
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	tups := make([]Tuple, 512)
+	for i := range tups {
+		tups[i] = Ints(int64(i), int64(i%13))
+		r.Merge(tups[i], int64(i)+1)
+	}
+	i := 0
+	guardZeroAllocs(t, "Relation.Merge steady-state", func() {
+		r.Merge(tups[i%len(tups)], 1) // every key already exists
+		i++
+	})
+}
+
+func TestAllocGuardTripleMergeSteady(t *testing.T) {
+	cf := ring.Cofactor{}
+	r := NewRelation[ring.Triple](cf, NewSchema("A"))
+	tup := Ints(1)
+	d := cf.Mul(ring.LiftValue(0, 2), cf.Mul(ring.LiftValue(1, 3), ring.LiftValue(2, 4)))
+	r.Merge(tup, d)
+	guardZeroAllocs(t, "Relation.Merge cofactor steady-state", func() {
+		r.Merge(tup, d)
+	})
+}
+
+func TestAllocGuardTripleAddInto(t *testing.T) {
+	cf := ring.Cofactor{}
+	acc := cf.Mul(ring.LiftValue(0, 2), cf.Mul(ring.LiftValue(1, 3), ring.LiftValue(2, 4)))
+	d := acc
+	guardZeroAllocs(t, "Triple.AddInto", func() {
+		acc.AddInto(&d)
+	})
+}

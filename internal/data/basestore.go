@@ -216,9 +216,10 @@ func (s *BaseStore) ApplyBatch(batch []BaseUpdate) error {
 // re-encoding), which is what makes backfilling a view from a compacted
 // base relation cheap; dst should be empty and share src's schema.
 func LiftFrom[P any](dst *Relation[P], src *Relation[int64], lift func(n int64) P) {
-	for key, e := range src.entries {
-		dst.MergeKey(key, e.Tuple, lift(e.Payload))
-	}
+	src.entries.all(func(e *Entry[int64]) bool {
+		dst.MergeKey(e.key, e.Tuple, lift(e.Payload))
+		return true
+	})
 }
 
 // Tuples reports the total number of distinct tuples currently stored

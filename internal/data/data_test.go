@@ -352,22 +352,22 @@ func TestIndexedRelationMaintainsIndexes(t *testing.T) {
 	ir.MergeIndexed(Ints(2, 30), 1)
 
 	ix := ir.EnsureIndex(NewSchema("A"))
-	if got := len(ix.Probe(Ints(1).Key())); got != 2 {
+	if got := ix.Probe(Ints(1).Key()).Len(); got != 2 {
 		t.Errorf("Probe(A=1) = %d keys, want 2", got)
 	}
 	// Updates after index creation are reflected.
 	ir.MergeIndexed(Ints(1, 40), 1)
-	if got := len(ix.Probe(Ints(1).Key())); got != 3 {
+	if got := ix.Probe(Ints(1).Key()).Len(); got != 3 {
 		t.Errorf("Probe(A=1) = %d keys after insert, want 3", got)
 	}
 	// Deletion through cancellation removes from the index.
 	ir.MergeIndexed(Ints(1, 10), -1)
-	if got := len(ix.Probe(Ints(1).Key())); got != 2 {
+	if got := ix.Probe(Ints(1).Key()).Len(); got != 2 {
 		t.Errorf("Probe(A=1) = %d keys after delete, want 2", got)
 	}
 	// Payload updates that do not change presence keep the index stable.
 	ir.MergeIndexed(Ints(1, 20), 5)
-	if got := len(ix.Probe(Ints(1).Key())); got != 2 {
+	if got := ix.Probe(Ints(1).Key()).Len(); got != 2 {
 		t.Errorf("Probe(A=1) = %d keys after payload change, want 2", got)
 	}
 }
@@ -378,7 +378,7 @@ func TestIndexEmptySchemaActsAsScan(t *testing.T) {
 	ir.MergeIndexed(Ints(1), 1)
 	ir.MergeIndexed(Ints(2), 1)
 	ix := ir.EnsureIndex(Schema{})
-	if got := len(ix.Probe("")); got != 2 {
+	if got := ix.Probe("").Len(); got != 2 {
 		t.Errorf("empty-schema probe = %d, want 2", got)
 	}
 }

@@ -82,7 +82,7 @@ func TestIndexProbeYieldsEntries(t *testing.T) {
 	var buf []byte
 	buf = Ints(1).AppendKey(buf[:0])
 	sum := int64(0)
-	for en := range ix.ProbeBytes(buf) {
+	for en := range ix.ProbeBytes(buf).All() {
 		sum += en.Payload
 		if en.Key() == "" {
 			t.Error("entry key not populated")
@@ -94,7 +94,7 @@ func TestIndexProbeYieldsEntries(t *testing.T) {
 	// Payload updates are visible through the index without re-adding.
 	ir.MergeIndexed(Ints(1, 10), 5)
 	sum = 0
-	for en := range ix.ProbeBytes(buf) {
+	for en := range ix.ProbeBytes(buf).All() {
 		sum += en.Payload
 	}
 	if sum != 10 {

@@ -8,20 +8,24 @@ import "fmt"
 // probe yields tuples and payloads without a second lookup in the primary
 // table. Delta propagation probes sibling views through indexes to
 // enumerate join partners without scanning.
+//
+// The bucket directory is the same group-probed table as the primary
+// storage (see swiss.go), with one directory node per distinct projected
+// key whose payload is the bucket set; buckets themselves are hybrid
+// slice/table EntrySets (see entryset.go).
 type Index[P any] struct {
-	on      Schema
-	proj    Projector
-	buckets map[string]map[*Entry[P]]struct{}
-	keyBuf  []byte
+	on     Schema
+	proj   Projector
+	dir    entryTable[*EntrySet[P]]
+	keyBuf []byte
 }
 
 // NewIndex creates an empty index over the given relation schema, keyed by
 // the on-variables.
 func NewIndex[P any](relSchema, on Schema) *Index[P] {
 	return &Index[P]{
-		on:      on,
-		proj:    MustProjector(relSchema, on),
-		buckets: make(map[string]map[*Entry[P]]struct{}),
+		on:   on,
+		proj: MustProjector(relSchema, on),
 	}
 }
 
@@ -31,37 +35,49 @@ func (ix *Index[P]) On() Schema { return ix.on }
 // Add records that entry e is present in the relation.
 func (ix *Index[P]) Add(e *Entry[P]) {
 	ix.keyBuf = ix.proj.AppendKey(ix.keyBuf[:0], e.Tuple)
-	b, ok := ix.buckets[string(ix.keyBuf)]
-	if !ok {
-		b = make(map[*Entry[P]]struct{})
-		ix.buckets[string(ix.keyBuf)] = b
+	h := hashBytes(ix.keyBuf)
+	node := ix.dir.getBytes(h, ix.keyBuf)
+	if node == nil {
+		node = &Entry[*EntrySet[P]]{key: string(ix.keyBuf), hash: h, Payload: &EntrySet[P]{}}
+		ix.dir.insert(node)
 	}
-	b[e] = struct{}{}
+	node.Payload.add(e)
 }
 
 // Remove records that entry e is gone from the relation.
 func (ix *Index[P]) Remove(e *Entry[P]) {
 	ix.keyBuf = ix.proj.AppendKey(ix.keyBuf[:0], e.Tuple)
-	if b, ok := ix.buckets[string(ix.keyBuf)]; ok {
-		delete(b, e)
-		if len(b) == 0 {
-			delete(ix.buckets, string(ix.keyBuf))
-		}
+	node := ix.dir.getBytes(hashBytes(ix.keyBuf), ix.keyBuf)
+	if node == nil {
+		return
+	}
+	node.Payload.remove(e)
+	if node.Payload.Len() == 0 {
+		ix.dir.del(node)
 	}
 }
 
-// Probe returns the entries whose projection matches the encoded key. The
-// returned map must not be modified.
-func (ix *Index[P]) Probe(key string) map[*Entry[P]]struct{} { return ix.buckets[key] }
+// Probe returns the bucket of entries whose projection matches the encoded
+// key; a miss returns nil, which iterates and counts as an empty set. The
+// bucket is owned by the index and must not be modified.
+func (ix *Index[P]) Probe(key string) *EntrySet[P] {
+	if node := ix.dir.getString(hashString(key), key); node != nil {
+		return node.Payload
+	}
+	return nil
+}
 
 // ProbeBytes is Probe for a key encoded in a caller-owned scratch buffer;
 // the lookup does not allocate.
-func (ix *Index[P]) ProbeBytes(key []byte) map[*Entry[P]]struct{} {
-	return ix.buckets[string(key)]
+func (ix *Index[P]) ProbeBytes(key []byte) *EntrySet[P] {
+	if node := ix.dir.getBytes(hashBytes(key), key); node != nil {
+		return node.Payload
+	}
+	return nil
 }
 
 // Len returns the number of distinct index keys.
-func (ix *Index[P]) Len() int { return len(ix.buckets) }
+func (ix *Index[P]) Len() int { return ix.dir.len() }
 
 // IndexedRelation wraps a Relation with incrementally maintained secondary
 // indexes. Mutations must go through MergeIndexed (or Rebuild after bulk
@@ -84,9 +100,10 @@ func (ir *IndexedRelation[P]) EnsureIndex(on Schema) *Index[P] {
 		return ix
 	}
 	ix := NewIndex[P](ir.Schema(), on)
-	for _, e := range ir.entries {
+	ir.entries.all(func(e *Entry[P]) bool {
 		ix.Add(e)
-	}
+		return true
+	})
 	ir.indexes[name] = ix
 	return ix
 }
@@ -116,8 +133,7 @@ func (ir *IndexedRelation[P]) MergeIndexed(t Tuple, p P) {
 // the projection only on insert.
 func (ir *IndexedRelation[P]) mergeProjectedIndexed(proj Projector, t Tuple, p P) {
 	ir.keyBuf = proj.AppendKey(ir.keyBuf[:0], t)
-	en, ok := ir.entries[string(ir.keyBuf)]
-	if ok {
+	if en := ir.lookupScratch(); en != nil {
 		var zero bool
 		if ir.mut != nil {
 			ir.touchEntry(en)
@@ -143,10 +159,8 @@ func (ir *IndexedRelation[P]) mergeProjectedIndexed(proj Projector, t Tuple, p P
 		return
 	}
 	key := string(ir.keyBuf)
-	en = &Entry[P]{key: key, Tuple: proj.Apply(t), Payload: ir.owned(p)}
-	ir.entries[key] = en
-	ir.noteInsert(en.Tuple)
-	ir.markInserted(en)
+	en := ir.insertEntry(key, proj.Apply(t))
+	ir.setPayload(en, p)
 	for _, ix := range ir.indexes {
 		ix.Add(en)
 	}
@@ -158,13 +172,15 @@ func (ir *IndexedRelation[P]) MergeAllIndexed(o *Relation[P]) {
 		panic(fmt.Sprintf("data: merge of incompatible schemas %v and %v", ir.Schema(), o.Schema()))
 	}
 	if ir.Schema().Equal(o.Schema()) {
-		for _, e := range o.entries {
+		o.entries.all(func(e *Entry[P]) bool {
 			ir.MergeIndexed(e.Tuple, e.Payload)
-		}
+			return true
+		})
 		return
 	}
 	proj := MustProjector(o.Schema(), ir.Schema())
-	for _, e := range o.entries {
+	o.entries.all(func(e *Entry[P]) bool {
 		ir.mergeProjectedIndexed(proj, e.Tuple, e.Payload)
-	}
+		return true
+	})
 }

@@ -16,9 +16,10 @@ func Union[P any](a, b *Relation[P]) *Relation[P] {
 	}
 	out := a.Clone()
 	proj := MustProjector(b.schema, a.schema)
-	for _, e := range b.entries {
+	b.entries.all(func(e *Entry[P]) bool {
 		out.MergeProjected(proj, e.Tuple, e.Payload)
-	}
+		return true
+	})
 	return out
 }
 
@@ -41,22 +42,24 @@ func Join[P any](a, b *Relation[P]) *Relation[P] {
 		extra   Tuple
 		payload P
 	}
-	buckets := make(map[string][]bucketEntry, len(b.entries))
-	for _, e := range b.entries {
+	buckets := make(map[string][]bucketEntry, b.entries.len())
+	b.entries.all(func(e *Entry[P]) bool {
 		k := bCommon.Key(e.Tuple)
 		buckets[k] = append(buckets[k], bucketEntry{extra: bExtra.Apply(e.Tuple), payload: e.Payload})
-	}
+		return true
+	})
 
 	aCommon := MustProjector(a.schema, common)
 	var buf []byte
-	for _, e := range a.entries {
+	a.entries.all(func(e *Entry[P]) bool {
 		buf = aCommon.AppendKey(buf[:0], e.Tuple)
 		matches := buckets[string(buf)]
 		for i := range matches {
 			m := &matches[i]
 			out.MergeMul(Concat(e.Tuple, m.extra), &e.Payload, &m.payload)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -97,7 +100,7 @@ func MarginalizeVars[P any](r *Relation[P], vars Schema, lift LiftFunc[P]) *Rela
 	for i, x := range vars {
 		idx[i] = r.schema.IndexOf(x)
 	}
-	for _, e := range r.entries {
+	r.entries.all(func(e *Entry[P]) bool {
 		// Combine the liftings first: they are small ring elements, while
 		// the payload may be large, so it joins the product once — directly
 		// inside the output's stored payload for mutable rings.
@@ -110,7 +113,8 @@ func MarginalizeVars[P any](r *Relation[P], vars Schema, lift LiftFunc[P]) *Rela
 		} else {
 			out.MergeProjected(proj, e.Tuple, e.Payload)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -119,9 +123,10 @@ func MarginalizeVars[P any](r *Relation[P], vars Schema, lift LiftFunc[P]) *Rela
 func Project[P any](r *Relation[P], target Schema) *Relation[P] {
 	out := NewRelation(r.ring, target)
 	proj := MustProjector(r.schema, target)
-	for _, e := range r.entries {
+	r.entries.all(func(e *Entry[P]) bool {
 		out.MergeProjected(proj, e.Tuple, e.Payload)
-	}
+		return true
+	})
 	return out
 }
 

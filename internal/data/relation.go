@@ -11,9 +11,11 @@ import (
 // Entry is one key-payload pair of a relation. Relations store entries by
 // pointer, so a payload update in place does not reallocate or re-hash; the
 // unexported key field caches the encoded tuple key for index maintenance
-// and deletion without re-encoding.
+// and deletion without re-encoding, and hash caches the key's table hash so
+// growth and index bucket membership never touch the key bytes again.
 type Entry[P any] struct {
 	key     string
+	hash    uint64
 	Tuple   Tuple
 	Payload P
 	// gen guards snapshot sharing of mutable payload storage: when it is
@@ -30,6 +32,10 @@ func (e *Entry[P]) Key() string { return e.key }
 // Relation is a finite-support function from tuples over a schema to
 // payloads in a ring D: the paper's relations R : Dom(S) -> D. Keys with
 // payload 0 are not stored, so Len is the paper's |R|.
+//
+// Entries live in an open-addressing, group-probed hash table (see swiss.go)
+// specialized for the pointer-entry layout: slots hold entry pointers only,
+// keys and hashes are cached inside the entries.
 //
 // Mutating and probing methods share a per-relation scratch buffer for key
 // encoding, so steady-state Get/Merge/Set do zero key allocations; as a
@@ -52,8 +58,12 @@ type Relation[P any] struct {
 	schema  Schema
 	ring    ring.Ring[P]
 	mut     ring.Mutable[P] // non-nil when the ring supports in-place accumulation
-	entries map[string]*Entry[P]
+	entries entryTable[P]
 	keyBuf  []byte
+	// keyHash is the hash of the key most recently encoded into keyBuf (or
+	// looked up by string); insertEntry stores it into the fresh entry, so a
+	// probe-then-insert pair hashes the key exactly once.
+	keyHash uint64
 	// recycle marks delta-scratch relations whose entries Clear moves onto
 	// the freelist for reuse; see RecycleCleared.
 	recycle bool
@@ -71,7 +81,7 @@ type Relation[P any] struct {
 
 // NewRelation creates an empty relation over the given ring and schema.
 func NewRelation[P any](r ring.Ring[P], schema Schema) *Relation[P] {
-	return &Relation[P]{schema: schema, ring: r, mut: ring.MutableOf(r), entries: make(map[string]*Entry[P])}
+	return &Relation[P]{schema: schema, ring: r, mut: ring.MutableOf(r)}
 }
 
 // owned returns the payload to store for a fresh entry: a deep copy when the
@@ -93,23 +103,12 @@ func (r *Relation[P]) Schema() Schema { return r.schema }
 func (r *Relation[P]) Ring() ring.Ring[P] { return r.ring }
 
 // Len returns the number of keys with non-zero payloads.
-func (r *Relation[P]) Len() int { return len(r.entries) }
+func (r *Relation[P]) Len() int { return r.entries.len() }
 
 // Reserve grows the entry table to hold at least n entries without
 // rehashing, a capacity hint for bulk loads and delta materialization.
 func (r *Relation[P]) Reserve(n int) {
-	if n <= len(r.entries) {
-		return
-	}
-	if len(r.entries) == 0 {
-		r.entries = make(map[string]*Entry[P], n)
-		return
-	}
-	m := make(map[string]*Entry[P], n)
-	for k, e := range r.entries {
-		m[k] = e
-	}
-	r.entries = m
+	r.entries.reserve(n)
 }
 
 // Clear removes every entry, retaining the table's capacity for reuse in
@@ -121,20 +120,21 @@ func (r *Relation[P]) Clear() {
 		// pinned snapshots may still reference the cleared entries and
 		// their payload storage. (Recycling scratch relations are never
 		// snapshotted, so this guard changes nothing in practice.)
-		for _, e := range r.entries {
+		r.entries.all(func(e *Entry[P]) bool {
 			e.Tuple = nil // tuples may be retained by consumers; never reused
 			r.free = append(r.free, e)
-		}
+			return true
+		})
 	}
 	if r.stats != nil {
-		r.stats.Live -= len(r.entries)
+		r.stats.Live -= r.entries.len()
 	}
 	if r.snap != nil {
 		// Wholesale invalidation: the next publish rebuilds from scratch.
 		r.snap.fullDirty = true
 		r.snap.dirtyKeys = r.snap.dirtyKeys[:0]
 	}
-	clear(r.entries)
+	r.entries.clear()
 }
 
 // ShareProjectedTuples lets MergeProjected and MergeMulProjected store, for
@@ -192,15 +192,15 @@ func (r *Relation[P]) RecycleCleared() { r.recycle = true }
 // removeEntry deletes an entry and reports the transition to the
 // statistics collector and the snapshot dirty list.
 func (r *Relation[P]) removeEntry(e *Entry[P]) {
-	delete(r.entries, e.key)
+	r.entries.del(e)
 	r.noteDelete()
 	r.markEntry(e)
 }
 
-// insertEntry stores a fresh entry under key (which must be absent),
-// reusing a recycled entry when available. The caller must set Payload
-// (recycled entries hold stale payloads whose storage CopyInto/MulInto may
-// reuse).
+// insertEntry stores a fresh entry under key (which must be absent and must
+// be the key whose hash a lookup just left in keyHash), reusing a recycled
+// entry when available. The caller must set Payload (recycled entries hold
+// stale payloads whose storage CopyInto/MulInto may reuse).
 func (r *Relation[P]) insertEntry(key string, t Tuple) *Entry[P] {
 	var e *Entry[P]
 	if n := len(r.free); n > 0 {
@@ -211,17 +211,39 @@ func (r *Relation[P]) insertEntry(key string, t Tuple) *Entry[P] {
 	} else {
 		e = &Entry[P]{key: key, Tuple: t}
 	}
-	r.entries[key] = e
+	e.hash = r.keyHash
+	r.entries.insert(e)
 	r.noteInsert(t)
 	r.markInserted(e)
 	return e
 }
 
+// adopt inserts an externally built entry whose key, hash, and payload are
+// already set (relation clones and negations).
+func (r *Relation[P]) adopt(e *Entry[P]) {
+	r.entries.insert(e)
+}
+
 // lookup returns the entry stored under tuple t, encoding the key into the
-// relation's scratch buffer (no allocation).
+// relation's scratch buffer and leaving its hash in keyHash (no allocation).
 func (r *Relation[P]) lookup(t Tuple) *Entry[P] {
 	r.keyBuf = t.AppendKey(r.keyBuf[:0])
-	return r.entries[string(r.keyBuf)]
+	r.keyHash = hashBytes(r.keyBuf)
+	return r.entries.getBytes(r.keyHash, r.keyBuf)
+}
+
+// lookupScratch probes for the key currently encoded in the scratch buffer,
+// leaving its hash in keyHash.
+func (r *Relation[P]) lookupScratch() *Entry[P] {
+	r.keyHash = hashBytes(r.keyBuf)
+	return r.entries.getBytes(r.keyHash, r.keyBuf)
+}
+
+// lookupString probes for an interned key string, leaving its hash in
+// keyHash.
+func (r *Relation[P]) lookupString(key string) *Entry[P] {
+	r.keyHash = hashString(key)
+	return r.entries.getString(r.keyHash, key)
 }
 
 // Get returns the payload of tuple t and whether it is non-zero.
@@ -238,7 +260,7 @@ func (r *Relation[P]) Get(t Tuple) (P, bool) {
 // tuple or its key.
 func (r *Relation[P]) GetProjected(proj Projector, t Tuple) (P, bool) {
 	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
-	if e, ok := r.entries[string(r.keyBuf)]; ok {
+	if e := r.lookupScratch(); e != nil {
 		return e.Payload, true
 	}
 	var zero P
@@ -250,23 +272,22 @@ func (r *Relation[P]) GetProjected(proj Projector, t Tuple) (P, bool) {
 // the entry is owned by the relation and must not be mutated.
 func (r *Relation[P]) LookupProjected(proj Projector, t Tuple) *Entry[P] {
 	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
-	return r.entries[string(r.keyBuf)]
+	return r.lookupScratch()
 }
 
 // GetKey returns the payload stored under an encoded key.
 func (r *Relation[P]) GetKey(key string) (P, bool) {
-	e, ok := r.entries[key]
-	if !ok {
-		var zero P
-		return zero, false
+	if e := r.lookupString(key); e != nil {
+		return e.Payload, true
 	}
-	return e.Payload, true
+	var zero P
+	return zero, false
 }
 
 // EntryKey returns the full entry stored under an encoded key.
 func (r *Relation[P]) EntryKey(key string) (*Entry[P], bool) {
-	e, ok := r.entries[key]
-	return e, ok
+	e := r.lookupString(key)
+	return e, e != nil
 }
 
 // Contains reports whether tuple t has a non-zero payload.
@@ -274,8 +295,7 @@ func (r *Relation[P]) Contains(t Tuple) bool { return r.lookup(t) != nil }
 
 // ContainsKey reports whether the encoded key has a non-zero payload.
 func (r *Relation[P]) ContainsKey(key string) bool {
-	_, ok := r.entries[key]
-	return ok
+	return r.lookupString(key) != nil
 }
 
 // Set assigns payload p to tuple t, deleting the key if p is zero.
@@ -373,7 +393,7 @@ func (r *Relation[P]) Merge(t Tuple, p P) P {
 // allocations.
 func (r *Relation[P]) MergeProjected(proj Projector, t Tuple, p P) {
 	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
-	if e, ok := r.entries[string(r.keyBuf)]; ok {
+	if e := r.lookupScratch(); e != nil {
 		if r.mut != nil {
 			r.touchEntry(e)
 			r.mut.AddInto(&e.Payload, p)
@@ -444,7 +464,7 @@ func (r *Relation[P]) MergeMulProjected(proj Projector, t Tuple, a, b *P) {
 		return
 	}
 	r.keyBuf = proj.AppendKey(r.keyBuf[:0], t)
-	if e, ok := r.entries[string(r.keyBuf)]; ok {
+	if e := r.lookupScratch(); e != nil {
 		r.touchEntry(e)
 		r.mut.MulAddInto(&e.Payload, a, b)
 		if r.ring.IsZero(e.Payload) {
@@ -462,7 +482,7 @@ func (r *Relation[P]) MergeMulProjected(proj Projector, t Tuple, a, b *P) {
 
 // MergeKey is Merge for a pre-encoded key.
 func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
-	if e, ok := r.entries[key]; ok {
+	if e := r.lookupString(key); e != nil {
 		if r.mut != nil {
 			r.touchEntry(e)
 			r.mut.AddInto(&e.Payload, p)
@@ -488,70 +508,66 @@ func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
 // MergeAll merges every entry of o into r: r := r ⊎ o. The relations must
 // share a schema (same variables in the same order).
 func (r *Relation[P]) MergeAll(o *Relation[P]) {
-	for key, e := range o.entries {
-		r.MergeKey(key, e.Tuple, e.Payload)
-	}
+	o.entries.all(func(e *Entry[P]) bool {
+		r.MergeKey(e.key, e.Tuple, e.Payload)
+		return true
+	})
 }
 
 // Iterate calls f for each entry until f returns false. Iteration order is
 // unspecified.
 func (r *Relation[P]) Iterate(f func(t Tuple, p P) bool) {
-	for _, e := range r.entries {
-		if !f(e.Tuple, e.Payload) {
-			return
-		}
-	}
+	r.entries.all(func(e *Entry[P]) bool {
+		return f(e.Tuple, e.Payload)
+	})
 }
 
 // IterateEntries calls f for each stored entry until f returns false. The
 // entries are owned by the relation and must not be mutated.
 func (r *Relation[P]) IterateEntries(f func(e *Entry[P]) bool) {
-	for _, e := range r.entries {
-		if !f(e) {
-			return
-		}
-	}
+	r.entries.all(f)
 }
 
 // Entries returns copies of the entries in unspecified order.
 func (r *Relation[P]) Entries() []Entry[P] {
-	out := make([]Entry[P], 0, len(r.entries))
-	for _, e := range r.entries {
+	out := make([]Entry[P], 0, r.entries.len())
+	r.entries.all(func(e *Entry[P]) bool {
 		out = append(out, *e)
-	}
+		return true
+	})
 	return out
 }
 
 // SortedEntries returns the entries ordered by encoded key, for
 // deterministic output in tests and tools.
 func (r *Relation[P]) SortedEntries() []Entry[P] {
-	keys := make([]string, 0, len(r.entries))
-	for k := range r.entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]Entry[P], 0, len(keys))
-	for _, k := range keys {
-		out = append(out, *r.entries[k])
-	}
+	out := make([]Entry[P], 0, r.entries.len())
+	r.entries.all(func(e *Entry[P]) bool {
+		out = append(out, *e)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
 	return out
 }
 
-// Clone returns a copy sharing tuples but no entry or map structure.
+// Clone returns a copy sharing tuples but no entry or table structure.
 // Payloads are shared for immutable rings and deep-copied for rings with
 // in-place accumulation, so later merges into either relation never bleed
 // into the other.
 func (r *Relation[P]) Clone() *Relation[P] {
-	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut, entries: make(map[string]*Entry[P], len(r.entries))}
-	for k, e := range r.entries {
+	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut}
+	out.entries.reserve(r.entries.len())
+	r.entries.all(func(e *Entry[P]) bool {
 		c := *e
+		c.gen = 0
 		if r.mut != nil {
 			var o P
 			r.mut.CopyInto(&o, e.Payload)
 			c.Payload = o
 		}
-		out.entries[k] = &c
-	}
+		out.adopt(&c)
+		return true
+	})
 	return out
 }
 
@@ -559,29 +575,34 @@ func (r *Relation[P]) Clone() *Relation[P] {
 // of its payload. A deletion of the tuples of r is expressed as merging
 // r.Negate().
 func (r *Relation[P]) Negate() *Relation[P] {
-	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut, entries: make(map[string]*Entry[P], len(r.entries))}
-	for k, e := range r.entries {
-		out.entries[k] = &Entry[P]{key: e.key, Tuple: e.Tuple, Payload: r.ring.Neg(e.Payload)}
-	}
+	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut}
+	out.entries.reserve(r.entries.len())
+	r.entries.all(func(e *Entry[P]) bool {
+		out.adopt(&Entry[P]{key: e.key, hash: e.hash, Tuple: e.Tuple, Payload: r.ring.Neg(e.Payload)})
+		return true
+	})
 	return out
 }
 
 // Equal reports whether two relations have the same schema variables and
 // identical key support, comparing payloads with eq.
 func (r *Relation[P]) Equal(o *Relation[P], eq func(a, b P) bool) bool {
-	if !r.schema.SameSet(o.schema) || len(r.entries) != len(o.entries) {
+	if !r.schema.SameSet(o.schema) || r.entries.len() != o.entries.len() {
 		return false
 	}
 	proj := MustProjector(o.schema, r.schema)
 	var buf []byte
-	for _, e := range o.entries {
+	equal := true
+	o.entries.all(func(e *Entry[P]) bool {
 		buf = proj.AppendKey(buf[:0], e.Tuple)
-		p, ok := r.entries[string(buf)]
-		if !ok || !eq(p.Payload, e.Payload) {
+		p := r.entries.getBytes(hashBytes(buf), buf)
+		if p == nil || !eq(p.Payload, e.Payload) {
+			equal = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return equal
 }
 
 // String renders the relation's sorted contents for debugging.

@@ -1,0 +1,163 @@
+package data
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot chunk arena: steady-state publishing allocates one entry-pointer
+// run per dirty chunk (see patch/mergeChunk), and under a continuous update
+// stream those runs are produced every epoch and die a few epochs later when
+// the snapshots referencing them are dropped — a textbook arena workload.
+// The arena bump-allocates runs out of fixed-size blocks and recycles a
+// block onto a freelist once no snapshot references it, so steady-state
+// Snapshot() publishing stops handing fresh slices to the garbage collector
+// each epoch.
+//
+// Reclamation is reference-counted, not epoch-bounded, because snapshot
+// lifetime is reader-controlled: a pinned reader may hold an old snapshot
+// for arbitrarily long (see serve.Registry), and nothing ever tells the
+// relation it was dropped. Each published snapshot takes one reference on
+// every distinct block its chunks live in, released by a GC cleanup when
+// the snapshot becomes unreachable; the writer holds one reference on the
+// block it is currently filling, released at the first publish after the
+// block fills up. A block whose count reaches zero is wiped (so its entry
+// pointers stop retaining sealed entries) and pushed onto the freelist.
+const (
+	// arenaBlockCap is the block size in entry pointers (32 KiB per block).
+	// Runs larger than a block — wholesale rebuilds, huge dirty ranges —
+	// fall back to plain GC allocations with a nil block.
+	arenaBlockCap = 4096
+	// arenaFreeMax caps the freelist; blocks beyond it are dropped to the GC.
+	arenaFreeMax = 8
+)
+
+// arenaBlock is one fixed-capacity allocation block. rc counts the
+// snapshots whose chunks point into buf, plus one for the writer while the
+// block is still being filled; mark dedupes the per-publish reference sweep
+// and is only ever touched by the writer goroutine.
+type arenaBlock[P any] struct {
+	rc    atomic.Int32
+	mark  uint64
+	buf   []*Entry[P]
+	owner *snapArena[P]
+}
+
+// release drops one reference; the last reference wipes the block and
+// returns it to the owner's freelist. Called from the writer (retired
+// blocks) and from GC cleanup goroutines (dropped snapshots).
+func (b *arenaBlock[P]) release() {
+	if b.rc.Add(-1) != 0 {
+		return
+	}
+	b.buf = b.buf[:cap(b.buf)]
+	clear(b.buf) // stop retaining sealed entries
+	b.buf = b.buf[:0]
+	a := b.owner
+	a.mu.Lock()
+	if len(a.free) < arenaFreeMax {
+		a.free = append(a.free, b)
+	}
+	a.mu.Unlock()
+}
+
+// releaseBlocks is the AddCleanup hook attached to each published snapshot.
+func releaseBlocks[P any](blocks []*arenaBlock[P]) {
+	for _, b := range blocks {
+		b.release()
+	}
+}
+
+// snapArena allocates snapshot chunk runs for one relation. All methods
+// except the freelist interior are writer-goroutine only.
+type snapArena[P any] struct {
+	cur *arenaBlock[P]
+	// pending holds filled blocks whose writer reference is dropped at the
+	// next publish — not before, because runs already handed out of them
+	// belong to the snapshot that is still being built.
+	pending []*arenaBlock[P]
+	// lastBlk/lastStart remember the most recent allocation so trim can give
+	// unused capacity back to the bump pointer.
+	lastBlk   *arenaBlock[P]
+	lastStart int
+	gen       uint64 // publish sweep marker (compared against block.mark)
+
+	mu   sync.Mutex
+	free []*arenaBlock[P]
+}
+
+// alloc returns an empty run with the given strict capacity bound and the
+// block it lives in (nil for oversize runs, which are plain allocations).
+// Callers must never append beyond the capacity — that would silently move
+// the run out of the block and break reference attribution.
+func (a *snapArena[P]) alloc(capacity int) ([]*Entry[P], *arenaBlock[P]) {
+	if capacity == 0 || capacity > arenaBlockCap {
+		return make([]*Entry[P], 0, capacity), nil
+	}
+	b := a.cur
+	if b == nil || len(b.buf)+capacity > cap(b.buf) {
+		if b != nil {
+			a.pending = append(a.pending, b)
+		}
+		b = a.take()
+		a.cur = b
+	}
+	start := len(b.buf)
+	b.buf = b.buf[:start+capacity]
+	a.lastBlk, a.lastStart = b, start
+	return b.buf[start : start : start+capacity], b
+}
+
+// trim gives the unused capacity of the most recent allocation back to the
+// block, so a run that ended shorter than its bound does not waste space.
+func (a *snapArena[P]) trim(run []*Entry[P], blk *arenaBlock[P]) {
+	if blk != nil && blk == a.lastBlk {
+		blk.buf = blk.buf[:a.lastStart+len(run)]
+	}
+	a.lastBlk = nil
+}
+
+// take pops a recycled block or allocates a fresh one, holding the writer
+// reference.
+func (a *snapArena[P]) take() *arenaBlock[P] {
+	var b *arenaBlock[P]
+	a.mu.Lock()
+	if n := len(a.free); n > 0 {
+		b = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+	}
+	a.mu.Unlock()
+	if b == nil {
+		b = &arenaBlock[P]{owner: a}
+		b.buf = make([]*Entry[P], 0, arenaBlockCap)
+	}
+	b.rc.Store(1)
+	return b
+}
+
+// publish pins s's blocks — one reference per distinct block among its
+// chunks, released by GC cleanup when s becomes unreachable — and then
+// drops the writer reference on blocks retired while building s. The order
+// matters: retired blocks may hold runs that belong to s.
+func (a *snapArena[P]) publish(s *RelationSnapshot[P]) {
+	a.gen++
+	var blocks []*arenaBlock[P]
+	for i := range s.chunks {
+		b := s.chunks[i].blk
+		if b != nil && b.mark != a.gen {
+			b.mark = a.gen
+			b.rc.Add(1)
+			blocks = append(blocks, b)
+		}
+	}
+	if len(blocks) > 0 {
+		runtime.AddCleanup(s, releaseBlocks[P], blocks)
+	}
+	for _, b := range a.pending {
+		b.release()
+	}
+	clear(a.pending)
+	a.pending = a.pending[:0]
+}

@@ -1,0 +1,105 @@
+package data
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"fivm/internal/ring"
+)
+
+// churnAndPublish applies n random steady-state merges and publishes a
+// snapshot, returning it.
+func churnAndPublish(rng *rand.Rand, r *Relation[int64], n int) *RelationSnapshot[int64] {
+	for i := 0; i < n; i++ {
+		r.Merge(Ints(int64(rng.Intn(600)), int64(rng.Intn(7))), int64(rng.Intn(9)-4))
+	}
+	return r.Snapshot()
+}
+
+// TestArenaRecyclingPreservesPinnedSnapshots churns a relation through many
+// epochs while most snapshots are dropped and collected (running the arena's
+// release cleanups), with a few pinned: the pinned epochs must keep serving
+// their exact published contents even as the blocks around them are wiped
+// and reused, and the freshest snapshot must always equal the relation.
+func TestArenaRecyclingPreservesPinnedSnapshots(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+
+	type pin struct {
+		snap *RelationSnapshot[int64]
+		fp   string
+	}
+	var pins []pin
+	for round := 0; round < 120; round++ {
+		s := churnAndPublish(rng, r, 80)
+		if round%17 == 0 {
+			pins = append(pins, pin{snap: s, fp: snapFingerprint(s)})
+		}
+		if round%25 == 0 {
+			runtime.GC() // collect dropped snapshots, run arena cleanups
+		}
+		if got, want := snapFingerprint(s), relFingerprint(r); got != want {
+			t.Fatalf("round %d: fresh snapshot diverges from relation", round)
+		}
+	}
+	runtime.GC()
+	for i, p := range pins {
+		if got := snapFingerprint(p.snap); got != p.fp {
+			t.Fatalf("pin %d mutated after arena recycling:\n got %s\nwant %s", i, got, p.fp)
+		}
+	}
+}
+
+// TestArenaRecyclesBlocks checks the arena actually completes its cycle:
+// once dropped snapshots are collected, retired blocks land on the freelist
+// for reuse instead of going back to the allocator. The release path runs on
+// GC cleanup goroutines, so the test churns and polls under a deadline.
+func TestArenaRecyclesBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	churnAndPublish(rng, r, 3000) // build a base and enable sealing
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// Keep publishing so filled blocks retire (their writer reference is
+		// only dropped at the next publish); drop every snapshot immediately.
+		for i := 0; i < 40; i++ {
+			churnAndPublish(rng, r, 120)
+		}
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond) // let cleanup goroutines run
+		r.snap.arena.mu.Lock()
+		free := len(r.snap.arena.free)
+		r.snap.arena.mu.Unlock()
+		if free > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no arena block was ever recycled onto the freelist")
+		}
+	}
+}
+
+// TestArenaOversizeRunsBypassBlocks pins the fallback contract: runs larger
+// than a block are plain allocations with no block attribution, and still
+// read back correctly.
+func TestArenaOversizeRunsBypassBlocks(t *testing.T) {
+	var a snapArena[int64]
+	run, blk := a.alloc(arenaBlockCap + 1)
+	if blk != nil {
+		t.Fatal("oversize run attributed to a block")
+	}
+	if cap(run) != arenaBlockCap+1 || len(run) != 0 {
+		t.Fatalf("oversize run cap %d len %d", cap(run), len(run))
+	}
+	run2, blk2 := a.alloc(16)
+	if blk2 == nil || len(run2) != 0 {
+		t.Fatal("small run not block-allocated")
+	}
+	a.trim(run2[:4], blk2)
+	if got := len(blk2.buf); got != 4 {
+		t.Fatalf("trim left block at %d pointers, want 4", got)
+	}
+}

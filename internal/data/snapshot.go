@@ -33,7 +33,15 @@ type RelationSnapshot[P any] struct {
 	schema Schema
 	ring   ring.Ring[P]
 	n      int
-	chunks [][]*Entry[P]
+	chunks []snapChunk[P]
+}
+
+// snapChunk is one sorted chunk of a snapshot: an entry run plus the arena
+// block it lives in (nil for plain allocations), which publication uses to
+// pin the run's storage for the snapshot's lifetime (see snaparena.go).
+type snapChunk[P any] struct {
+	es  []*Entry[P]
+	blk *arenaBlock[P]
 }
 
 // snapState is the incremental publication machinery a relation carries once
@@ -49,6 +57,10 @@ type snapState[P any] struct {
 	// rebuilds from the live contents instead of patching.
 	fullDirty bool
 	last      *RelationSnapshot[P]
+	// arena allocates chunk entry runs; dirScratch is the reusable buffer
+	// the next chunk directory is assembled in before the exact-size copy.
+	arena      snapArena[P]
+	dirScratch []snapChunk[P]
 	// gen is the publish generation, bumped after every published snapshot.
 	// An entry whose gen is current has already been recorded dirty this
 	// epoch and (for mutable rings) owns private payload storage; an older
@@ -118,6 +130,7 @@ func (r *Relation[P]) Snapshot() *RelationSnapshot[P] {
 	if r.snap == nil {
 		r.snap = &snapState[P]{gen: 1}
 		r.snap.last = r.buildSnapshot(true)
+		r.snap.arena.publish(r.snap.last)
 		r.snap.gen++
 		return r.snap.last
 	}
@@ -127,9 +140,11 @@ func (r *Relation[P]) Snapshot() *RelationSnapshot[P] {
 		s.fullDirty = false
 		s.dirtyKeys = s.dirtyKeys[:0]
 		s.last = r.buildSnapshot(true)
+		s.arena.publish(s.last)
 		s.gen++
 	case len(s.dirtyKeys) > 0:
 		s.last = s.last.patch(r, s.dirtyKeys)
+		s.arena.publish(s.last)
 		s.dirtyKeys = s.dirtyKeys[:0]
 		s.gen++
 	}
@@ -147,16 +162,23 @@ func (r *Relation[P]) Seal() *RelationSnapshot[P] {
 // buildSnapshot constructs a snapshot from the full live contents, copying
 // entries when seal is set and sharing them otherwise.
 func (r *Relation[P]) buildSnapshot(seal bool) *RelationSnapshot[P] {
-	es := make([]*Entry[P], 0, len(r.entries))
-	for _, e := range r.entries {
+	var es []*Entry[P]
+	var blk *arenaBlock[P]
+	if seal && r.snap != nil {
+		es, blk = r.snap.arena.alloc(r.entries.len())
+	} else {
+		es = make([]*Entry[P], 0, r.entries.len())
+	}
+	r.entries.all(func(e *Entry[P]) bool {
 		if seal {
 			e = r.sealEntry(e)
 		}
 		es = append(es, e)
-	}
+		return true
+	})
 	sort.Slice(es, func(i, j int) bool { return es[i].key < es[j].key })
 	s := &RelationSnapshot[P]{schema: r.schema, ring: r.ring, n: len(es)}
-	s.chunks = appendChunked(nil, es)
+	s.chunks = appendChunked(nil, es, blk)
 	return s
 }
 
@@ -175,42 +197,53 @@ func (prev *RelationSnapshot[P]) patch(r *Relation[P], keys []string) *RelationS
 	}
 	keys = keys[:w]
 
-	next := &RelationSnapshot[P]{schema: prev.schema, ring: prev.ring, n: len(r.entries)}
+	next := &RelationSnapshot[P]{schema: prev.schema, ring: prev.ring, n: r.entries.len()}
+	arena := &r.snap.arena
 	if len(prev.chunks) == 0 {
-		buf := make([]*Entry[P], 0, len(keys))
+		buf, blk := arena.alloc(len(keys))
 		for _, k := range keys {
-			if e, ok := r.entries[k]; ok {
+			if e := r.lookupString(k); e != nil {
 				buf = append(buf, r.sealEntry(e))
 			}
 		}
-		next.chunks = appendChunked(nil, buf)
+		arena.trim(buf, blk)
+		next.chunks = appendChunked(nil, buf, blk)
 		return next
 	}
-	out := make([][]*Entry[P], 0, len(prev.chunks)+len(keys)/snapChunkTarget)
+	// The directory is assembled in a reusable scratch buffer, then copied to
+	// an exact-size slice the snapshot owns: one small allocation per publish
+	// instead of append-doubling churn.
+	out := r.snap.dirScratch[:0]
 	ki := 0
 	for ci, c := range prev.chunks {
 		last := ci == len(prev.chunks)-1
 		// Chunk ci covers keys up to (not including) the next chunk's first
 		// key; the first chunk also absorbs smaller keys, the last all larger.
 		lo := ki
-		for ki < len(keys) && (last || keys[ki] < prev.chunks[ci+1][0].key) {
+		for ki < len(keys) && (last || keys[ki] < prev.chunks[ci+1].es[0].key) {
 			ki++
 		}
 		if lo == ki {
 			out = append(out, c)
 			continue
 		}
-		out = appendChunked(out, mergeChunk(r, c, keys[lo:ki]))
+		run, blk := mergeChunk(r, c.es, keys[lo:ki])
+		out = appendChunked(out, run, blk)
 	}
-	next.chunks = out
+	next.chunks = make([]snapChunk[P], len(out))
+	copy(next.chunks, out)
+	clear(out[:cap(out)])
+	r.snap.dirScratch = out[:0]
 	return next
 }
 
 // mergeChunk merges a sorted chunk with sorted dirty keys: dirty keys still
 // live are replaced by sealed copies of their current entries, dead ones are
-// dropped, and untouched entries are carried over by pointer.
-func mergeChunk[P any](r *Relation[P], c []*Entry[P], keys []string) []*Entry[P] {
-	out := make([]*Entry[P], 0, len(c)+len(keys))
+// dropped, and untouched entries are carried over by pointer. The merged run
+// is arena-allocated; len(c)+len(keys) is a strict upper bound on its size.
+func mergeChunk[P any](r *Relation[P], c []*Entry[P], keys []string) ([]*Entry[P], *arenaBlock[P]) {
+	arena := &r.snap.arena
+	out, blk := arena.alloc(len(c) + len(keys))
 	i := 0
 	for _, k := range keys {
 		for i < len(c) && c[i].key < k {
@@ -220,23 +253,26 @@ func mergeChunk[P any](r *Relation[P], c []*Entry[P], keys []string) []*Entry[P]
 		if i < len(c) && c[i].key == k {
 			i++ // superseded or deleted
 		}
-		if e, ok := r.entries[k]; ok {
+		if e := r.lookupString(k); e != nil {
 			out = append(out, r.sealEntry(e))
 		}
 	}
-	return append(out, c[i:]...)
+	out = append(out, c[i:]...)
+	arena.trim(out, blk)
+	return out, blk
 }
 
 // appendChunked appends a sorted entry run to the chunk list, splitting runs
 // longer than snapChunkMax into snapChunkTarget-sized chunks (subslices of
-// one backing array, immutable after publication).
-func appendChunked[P any](out [][]*Entry[P], es []*Entry[P]) [][]*Entry[P] {
+// one backing array, immutable after publication, all attributed to the
+// run's arena block).
+func appendChunked[P any](out []snapChunk[P], es []*Entry[P], blk *arenaBlock[P]) []snapChunk[P] {
 	for len(es) > snapChunkMax {
-		out = append(out, es[:snapChunkTarget:snapChunkTarget])
+		out = append(out, snapChunk[P]{es: es[:snapChunkTarget:snapChunkTarget], blk: blk})
 		es = es[snapChunkTarget:]
 	}
 	if len(es) > 0 {
-		out = append(out, es)
+		out = append(out, snapChunk[P]{es: es, blk: blk})
 	}
 	return out
 }
@@ -279,7 +315,7 @@ func cmpKey(a string, b []byte) int {
 // smaller keys). Only valid when the snapshot has chunks.
 func (s *RelationSnapshot[P]) findChunk(key []byte) int {
 	i := sort.Search(len(s.chunks), func(i int) bool {
-		return cmpKey(s.chunks[i][0].key, key) > 0
+		return cmpKey(s.chunks[i].es[0].key, key) > 0
 	})
 	if i > 0 {
 		i--
@@ -294,7 +330,7 @@ func (s *RelationSnapshot[P]) Lookup(key []byte) *Entry[P] {
 	if len(s.chunks) == 0 {
 		return nil
 	}
-	c := s.chunks[s.findChunk(key)]
+	c := s.chunks[s.findChunk(key)].es
 	i := sort.Search(len(c), func(i int) bool { return cmpKey(c[i].key, key) >= 0 })
 	if i < len(c) && cmpKey(c[i].key, key) == 0 {
 		return c[i]
@@ -318,7 +354,7 @@ func (s *RelationSnapshot[P]) GetKey(key string) (P, bool) {
 	if len(s.chunks) == 0 {
 		return zero, false
 	}
-	c := s.chunks[s.findChunk([]byte(key))]
+	c := s.chunks[s.findChunk([]byte(key))].es
 	i := sort.Search(len(c), func(i int) bool { return c[i].key >= key })
 	if i < len(c) && c[i].key == key {
 		return c[i].Payload, true
@@ -337,10 +373,10 @@ func (s *RelationSnapshot[P]) ScanPrefix(prefix []byte, f func(e *Entry[P]) bool
 		return
 	}
 	ci := s.findChunk(prefix)
-	c := s.chunks[ci]
+	c := s.chunks[ci].es
 	i := sort.Search(len(c), func(i int) bool { return cmpKey(c[i].key, prefix) >= 0 })
 	for ; ci < len(s.chunks); ci++ {
-		c = s.chunks[ci]
+		c = s.chunks[ci].es
 		for ; i < len(c); i++ {
 			e := c[i]
 			if len(e.key) < len(prefix) || e.key[:len(prefix)] != string(prefix) {
@@ -357,7 +393,7 @@ func (s *RelationSnapshot[P]) ScanPrefix(prefix []byte, f func(e *Entry[P]) bool
 // Iterate calls f for each entry in encoded-key order until f returns false.
 func (s *RelationSnapshot[P]) Iterate(f func(t Tuple, p P) bool) {
 	for _, c := range s.chunks {
-		for _, e := range c {
+		for _, e := range c.es {
 			if !f(e.Tuple, e.Payload) {
 				return
 			}
@@ -369,7 +405,7 @@ func (s *RelationSnapshot[P]) Iterate(f func(t Tuple, p P) bool) {
 // false. Entries are immutable and must not be modified.
 func (s *RelationSnapshot[P]) IterateEntries(f func(e *Entry[P]) bool) {
 	for _, c := range s.chunks {
-		for _, e := range c {
+		for _, e := range c.es {
 			if !f(e) {
 				return
 			}
@@ -382,7 +418,7 @@ func (s *RelationSnapshot[P]) IterateEntries(f func(e *Entry[P]) bool) {
 func (s *RelationSnapshot[P]) SortedEntries() []Entry[P] {
 	out := make([]Entry[P], 0, s.n)
 	for _, c := range s.chunks {
-		for _, e := range c {
+		for _, e := range c.es {
 			out = append(out, *e)
 		}
 	}

@@ -159,7 +159,7 @@ func joinSiblingFactored[P any](e *Engine[P], factors []*data.Relation[P], sibli
 	var buf []byte
 	joined.Iterate(func(t data.Tuple, p P) bool {
 		buf = probe.AppendKey(buf[:0], t)
-		for en := range ix.ProbeBytes(buf) {
+		for en := range ix.ProbeBytes(buf).All() {
 			tt := make(data.Tuple, 0, len(t)+extraProj.Len())
 			tt = append(tt, t...)
 			tt = extraProj.AppendTo(tt, en.Tuple)

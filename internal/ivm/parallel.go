@@ -43,6 +43,9 @@ type Parallel[P any] struct {
 
 	jobs   chan func()
 	closed bool
+	// sem caps concurrently running shard jobs at the GOMAXPROCS value in
+	// effect per dispatch; allocated lazily, only when shards exceed cores.
+	sem chan struct{}
 
 	// Routing scratch, reused across ApplyDeltas calls: one Sharded routing
 	// relation per updated relation name, the per-shard batches assembled
@@ -116,18 +119,21 @@ func pickShardVar(q query.Query) string {
 // each an independent maintainer built by factory (strategies hold
 // per-instance state, so every shard needs its own). workers <= 1, or a
 // query with nothing to shard on, yields a sequential single-shard
-// delegate. workers is clamped to runtime.NumCPU(): each update is a
-// barrier across shards, so sharding beyond the available cores adds
-// routing overhead without any parallelism in return.
+// delegate.
+//
+// The shard count is NOT clamped to the host's core count at construction:
+// partitioning is a data layout decision that must stay stable for the
+// maintainer's lifetime, while the core budget is a scheduling decision that
+// can change at any time (runtime.GOMAXPROCS, container quota updates).
+// Instead, dispatch caps the shards propagating concurrently at the
+// GOMAXPROCS value in effect for each batch, so an 8-shard maintainer on a
+// 4-core budget runs 4 shards at a time rather than thrashing 8.
 func NewParallel[P any](q query.Query, r ring.Ring[P], workers int, factory func() (Maintainer[P], error)) (*Parallel[P], error) {
-	if n := runtime.NumCPU(); workers > n {
-		workers = n
-	}
 	return newParallel(q, r, workers, factory)
 }
 
-// newParallel is NewParallel without the CPU clamp, for tests that exercise
-// the sharding math at fixed shard counts regardless of host hardware.
+// newParallel is the shared constructor behind NewParallel, kept separate
+// for tests that exercise the sharding math at fixed shard counts.
 func newParallel[P any](q query.Query, r ring.Ring[P], workers int, factory func() (Maintainer[P], error)) (*Parallel[P], error) {
 	shardVar := pickShardVar(q)
 	if workers < 1 || shardVar == "" {
@@ -185,15 +191,31 @@ func (p *Parallel[P]) Close() error {
 }
 
 // dispatch runs f(shard) for every shard in the index set on the worker
-// pool and returns the first error in shard order.
+// pool and returns the first error in shard order. In-flight jobs are capped
+// at the runtime.GOMAXPROCS value read per call — not at construction — so
+// the maintainer adapts when the core budget changes under it; when the
+// budget covers every shard the cap adds no work at all.
 func (p *Parallel[P]) dispatch(idx []int, f func(s int) error) error {
+	var sem chan struct{}
+	if limit := runtime.GOMAXPROCS(0); limit < len(idx) {
+		if cap(p.sem) != limit {
+			p.sem = make(chan struct{}, limit)
+		}
+		sem = p.sem
+	}
 	var wg sync.WaitGroup
 	for _, s := range idx {
 		s := s
 		wg.Add(1)
+		if sem != nil {
+			sem <- struct{}{} // acquired before enqueue; released by the job
+		}
 		p.jobs <- func() {
 			defer wg.Done()
 			p.errs[s] = f(s)
+			if sem != nil {
+				<-sem
+			}
 		}
 	}
 	wg.Wait()

@@ -252,7 +252,7 @@ func (st *planStep[P]) exec(e *Engine[P], delta *data.Relation[P]) *data.Relatio
 			ix := view.EnsureIndex(sib.common)
 			for _, it := range items {
 				st.keyBuf = sib.probeProj.AppendKey(st.keyBuf[:0], it.t)
-				for en := range ix.ProbeBytes(st.keyBuf) {
+				for en := range ix.ProbeBytes(st.keyBuf).All() {
 					start := len(arena)
 					arena = append(arena, it.t...)
 					arena = sib.extraProj.AppendTo(arena, en.Tuple)

@@ -341,7 +341,7 @@ func (m *Recursive[P]) viewDelta(v *recView[P], rel string, rd query.RelDef, del
 			extraLen := c.extraProj.Len()
 			for _, it := range items {
 				m.keyBuf = c.probeProj.AppendKey(m.keyBuf[:0], it.t)
-				for en := range ix.ProbeBytes(m.keyBuf) {
+				for en := range ix.ProbeBytes(m.keyBuf).All() {
 					tt := make(data.Tuple, 0, len(it.t)+extraLen)
 					tt = append(tt, it.t...)
 					tt = c.extraProj.AppendTo(tt, en.Tuple)
