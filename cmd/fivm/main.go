@@ -17,6 +17,8 @@ import (
 
 	"fivm/internal/bench"
 	"fivm/internal/datasets"
+	"fivm/internal/db"
+	"fivm/internal/wal"
 )
 
 func usage() {
@@ -44,11 +46,13 @@ Experiments (paper artifact each regenerates):
   sql "SELECT ..."    maintain an ad-hoc query over a dataset's stream
   repl                interactive DB session over a dataset: CREATE VIEW /
                       DROP VIEW / one-shot SELECT, with .play to stream
-                      update batches into every registered view at once
+                      update batches into every registered view at once;
+                      -wal-dir makes the session durable (segmented WAL +
+                      .checkpoint, recovered on restart)
   multiview           shared-ingest DB vs N separate engines over one
                       stream (-views N concurrent views)
-  bench               continuous-benchmark suite: fig7/fig13/mixed/multiview
-                      at CI scale plus hot-path microbenchmarks, written as
+  bench               continuous-benchmark suite: fig7/fig13/mixed/fig7wal/
+                      multiview at CI scale plus hot-path microbenchmarks, as
                       machine-readable JSON (-o, default BENCH_6.json) for
                       cmd/benchdiff; -cpuprofile/-memprofile for pprof
   all                 everything above at default scale
@@ -79,9 +83,23 @@ func main() {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench suite to this file (bench)")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the bench suite to this file (bench)")
 	noMicro := fs.Bool("no-micro", false, "skip the hot-path microbenchmarks (bench)")
+	walDir := fs.String("wal-dir", "", "enable durability: segmented WAL and checkpoints in this directory, recovered on start (repl); parent dir for the fig7wal scenario's WAL (bench)")
+	fsyncName := fs.String("fsync", "never", "WAL fsync policy: always, interval, or never")
+	ckptEvery := fs.Uint64("checkpoint-every", 0, "write an automatic checkpoint every N applied batches (repl; 0 = manual .checkpoint only)")
 	fs.Parse(os.Args[2:])
 	flagSet := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
+
+	fsync, err := wal.ParseFsync(*fsyncName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// durability is nil — a purely in-memory DB — unless -wal-dir is given.
+	var durability *db.DurabilityOptions
+	if *walDir != "" {
+		durability = &db.DurabilityOptions{Dir: *walDir, Fsync: fsync, CheckpointEvery: *ckptEvery}
+	}
 
 	retailer := datasets.DefaultRetailer()
 	retailer.Dates *= *scale
@@ -188,7 +206,7 @@ func main() {
 		print(bench.ViewTreeReport(ds, []string{ds.Largest}))
 	case "repl":
 		ds := pickDataset(*dataset, retailer, housing, twitter)
-		if err := repl(ds, os.Stdin, os.Stdout, *batch, *workers); err != nil {
+		if err := repl(ds, os.Stdin, os.Stdout, *batch, *workers, durability); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -211,6 +229,12 @@ func main() {
 			}
 			if flagSet["views"] {
 				cfg.Views = *views
+			}
+			if flagSet["wal-dir"] {
+				cfg.WALDir = *walDir
+			}
+			if flagSet["fsync"] {
+				cfg.WALFsync = fsync
 			}
 			if *noMicro {
 				cfg.Micro = false

@@ -18,26 +18,41 @@ import (
 // catalog, view DDL (CREATE VIEW / DROP VIEW / one-shot SELECT) driving the
 // maintenance machinery, and dot-commands to play the dataset's update
 // stream and inspect views between batches.
-func repl(ds *datasets.Dataset, in io.Reader, out io.Writer, batchSize, workers int) error {
+func repl(ds *datasets.Dataset, in io.Reader, out io.Writer, batchSize, workers int, dur *db.DurabilityOptions) error {
 	cat := db.Catalog{}
 	for _, rd := range ds.Query.Rels {
 		cat[rd.Name] = rd.Schema
 	}
-	d, err := db.Open(cat, db.Options{})
+	d, err := db.Open(cat, db.Options{Durability: dur})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
 
 	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), batchSize)
-	at := 0
+	// A recovered session resumes the deterministic stream where the logged
+	// batches left off, so .play continues rather than re-applies.
+	at := min(int(d.Applied()), len(stream))
 	tempViews := 0
 	vopts := db.ViewOptions{Workers: workers}
 
+	if ri := d.Recovery(); ri != nil {
+		fmt.Fprintf(out, "recovered %d applied batches from %s", d.Applied(), dur.Dir)
+		if ri.FromCheckpoint {
+			fmt.Fprintf(out, " (checkpoint at batch %d, %d replayed)", ri.CheckpointApplied, ri.ReplayedBatches)
+		}
+		if len(ri.Views) > 0 {
+			fmt.Fprintf(out, "; views: %s", strings.Join(ri.Views, ", "))
+		}
+		if ri.TornBytes > 0 {
+			fmt.Fprintf(out, "; discarded %dB torn tail", ri.TornBytes)
+		}
+		fmt.Fprintln(out)
+	}
 	fmt.Fprintf(out, "fivm repl — dataset %s (%d stream batches of ~%d tuples; %d applied)\n",
 		ds.Name, len(stream), batchSize, at)
 	fmt.Fprintf(out, "SQL: CREATE VIEW v AS SELECT ...; DROP VIEW v; SELECT ... (one-shot)\n")
-	fmt.Fprintf(out, "commands: .play [n] .views .show v [limit] .stats .help .quit\n")
+	fmt.Fprintf(out, "commands: .play [n] .views .show v [limit] .stats .checkpoint .help .quit\n")
 
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -123,6 +138,7 @@ func replCommand(d *db.DB, out io.Writer, line string, stream []datasets.Batch, 
 		fmt.Fprintln(out, ".views         list registered views")
 		fmt.Fprintln(out, ".show v [k]    print up to k groups of view v (default 20)")
 		fmt.Fprintln(out, ".stats         ingest and per-view maintenance statistics")
+		fmt.Fprintln(out, ".checkpoint    write a durability checkpoint and prune the WAL (-wal-dir)")
 		fmt.Fprintln(out, ".quit          leave")
 	case ".play":
 		n := 10
@@ -175,6 +191,18 @@ func replCommand(d *db.DB, out io.Writer, line string, stream []datasets.Batch, 
 	case ".stats":
 		fmt.Fprintf(out, "applied batches: %d, epoch %d, base tuples: %d, memory %s\n",
 			d.Applied(), d.Epoch().Seq, baseTuples(d), fmtBytes(d.MemoryBytes()))
+		if lsn, ok := d.WALStats(); ok {
+			fmt.Fprintf(out, "wal: lsn %d\n", lsn)
+		}
+	case ".checkpoint":
+		start := time.Now()
+		if err := d.Checkpoint(); err != nil {
+			fmt.Fprintln(out, err)
+			return false
+		}
+		lsn, _ := d.WALStats()
+		fmt.Fprintf(out, "checkpoint written at lsn %d in %v (older WAL pruned)\n",
+			lsn, time.Since(start).Round(time.Microsecond))
 	default:
 		fmt.Fprintf(out, "unknown command %s (.help)\n", fields[0])
 	}

@@ -54,6 +54,7 @@ import (
 	"fivm/internal/sqlparse"
 	"fivm/internal/viewtree"
 	"fivm/internal/vorder"
+	"fivm/internal/wal"
 )
 
 // --- data model ---------------------------------------------------------
@@ -430,6 +431,51 @@ func ViewReader[P any](d *DB, view string) (*Reader[P], error) {
 func NewReaderAt[P any](src SnapshotSource[P], snap *ViewSnapshot[P]) *Reader[P] {
 	return serve.NewReaderAt[P](src, snap)
 }
+
+// --- durability: WAL, checkpoints, recovery -----------------------------------
+
+// DurabilityOptions enables the DB's write-ahead log: every applied batch is
+// logged before any in-memory state advances, SQL-defined views persist in
+// the on-disk catalog, and Open recovers the exact pre-crash state (latest
+// checkpoint + replayed tail). Set DBOptions.Durability; nil keeps the DB
+// purely in-memory.
+type DurabilityOptions = db.DurabilityOptions
+
+// RecoveryInfo reports what Open recovered from the WAL directory; read it
+// via DB.Recovery (nil when durability is off or nothing was recovered).
+type RecoveryInfo = db.RecoveryInfo
+
+// FsyncPolicy controls when logged batches are forced to stable storage.
+type FsyncPolicy = wal.FsyncPolicy
+
+// Fsync policies: every record, at most once per interval, or left to the OS.
+const (
+	FsyncAlways   = wal.FsyncAlways
+	FsyncInterval = wal.FsyncInterval
+	FsyncNever    = wal.FsyncNever
+)
+
+// ParseFsync parses a policy name ("always", "interval", "never").
+var ParseFsync = wal.ParseFsync
+
+// WALFS is the filesystem interface the WAL writes through; implement it (or
+// wrap an existing one) to intercept durability I/O.
+type WALFS = wal.VFS
+
+// MemWALFS is the in-memory filesystem with crash simulation (Crash keeps
+// only synced bytes); FaultWALFS injects write/sync/create/close failures
+// into any WALFS. Both are how the durability test-suite — and yours — crash
+// a database on purpose.
+type (
+	MemWALFS   = wal.MemVFS
+	FaultWALFS = wal.FaultFS
+)
+
+// In-memory and fault-injecting filesystem constructors.
+var (
+	NewMemWALFS   = wal.NewMemFS
+	NewFaultWALFS = wal.NewFaultFS
+)
 
 // --- applications -------------------------------------------------------------
 

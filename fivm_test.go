@@ -337,3 +337,54 @@ func TestServingReads(t *testing.T) {
 		t.Fatalf("ViewNames %d != snapshot catalog %d", got, want)
 	}
 }
+
+func TestDurabilityFacade(t *testing.T) {
+	fs := fivm.NewMemWALFS()
+	opts := fivm.DBOptions{Durability: &fivm.DurabilityOptions{
+		Dir: "wal", FS: fs, Fsync: fivm.FsyncAlways,
+	}}
+	d, err := fivm.Open(exampleCatalog(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fivm.CreateSQLView(d, "byA",
+		"SELECT A, COUNT(*) FROM R NATURAL JOIN S GROUP BY A", fivm.ViewOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply([]fivm.DBUpdate{
+		fivm.InsertInto("R", fivm.Ints(1, 10), fivm.Ints(1, 11)),
+		fivm.InsertInto("S", fivm.Ints(1, 100)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply([]fivm.DBUpdate{fivm.DeleteFrom("R", fivm.Ints(1, 11))}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Power cut: only synced bytes survive; fsync=always synced everything.
+	fs.Crash()
+	d2, err := fivm.Open(exampleCatalog(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	var ri *fivm.RecoveryInfo = d2.Recovery()
+	if ri == nil || !ri.FromCheckpoint || ri.ReplayedBatches != 1 {
+		t.Fatalf("unexpected recovery info: %+v", ri)
+	}
+	s := fivm.ViewSnapshotOf[float64](d2.Epoch(), "byA")
+	if s == nil {
+		t.Fatal("recovered epoch missing the persisted view")
+	}
+	if got, ok := s.Result().Get(fivm.Ints(1)); !ok || got != 1 {
+		t.Fatalf("recovered byA(1) = %v,%v, want 1", got, ok)
+	}
+
+	if _, err := fivm.ParseFsync("interval"); err != nil {
+		t.Fatal(err)
+	}
+	var _ fivm.WALFS = fivm.NewFaultWALFS(fs)
+}

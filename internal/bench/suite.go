@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fivm/internal/datasets"
+	"fivm/internal/wal"
 )
 
 // SuiteConfig sizes the continuous-benchmark suite (`fivm bench`). The
@@ -26,6 +27,15 @@ type SuiteConfig struct {
 	Readers int
 	// Views is the view count for the multiview scenario.
 	Views int
+	// WALDir is the parent directory for the fig7wal scenario's WAL files;
+	// empty (the committed-baseline setting) uses the system temp dir. The
+	// scenario always runs — a baseline row missing from a run reads as a
+	// regression to benchdiff.
+	WALDir string
+	// WALFsync is the fig7wal sync policy. The committed baseline leaves it
+	// zero only notionally: DefaultSuite pins wal.FsyncNever so the scenario
+	// measures the append/encode path, not device fsync latency.
+	WALFsync wal.FsyncPolicy
 	// Micro includes the hot-path microbenchmarks (see micro.go).
 	Micro bool
 	// Reps repeats the fig7/fig13/mixed sweeps and keeps each case's best
@@ -45,6 +55,7 @@ func DefaultSuite() SuiteConfig {
 		Timeout:   30 * time.Second,
 		Readers:   2,
 		Views:     4,
+		WALFsync:  wal.FsyncNever,
 		Micro:     true,
 		Reps:      3,
 	}
@@ -167,6 +178,24 @@ func RunSuite(cfg SuiteConfig) *Report {
 			row := suiteScenario("mixed", mr.RunResult, cfg, f7m.Readers)
 			row.ReaderOpsPerSec = mr.Reader.OpsPerSec
 			rows = append(rows, row)
+		}
+		return rows
+	})
+
+	// Durability overhead: the fig7 cofactor view through db.DB, without a
+	// WAL vs appending every batch to a segmented one (fsync per WALFsync).
+	wb := WALBenchConfig{
+		Retailer:  cfg.Retailer,
+		BatchSize: cfg.BatchSize,
+		Workers:   cfg.Workers,
+		Dir:       cfg.WALDir,
+		Fsync:     cfg.WALFsync,
+	}
+	sweep(func() []ScenarioResult {
+		resW := WALBench(wb)
+		rows := make([]ScenarioResult, 0, len(resW))
+		for _, r := range resW {
+			rows = append(rows, suiteScenario("fig7wal", r, cfg, 0))
 		}
 		return rows
 	})

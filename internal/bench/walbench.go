@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"os"
+	"time"
+
+	"fivm/internal/datasets"
+	"fivm/internal/db"
+	"fivm/internal/ring"
+	"fivm/internal/wal"
+)
+
+// WALBenchConfig sizes the durability-overhead scenario: the fig7 cofactor
+// view maintained through db.DB over the retailer stream, once without a WAL
+// and once appending every batch to a segmented WAL.
+type WALBenchConfig struct {
+	Retailer  datasets.RetailerConfig
+	BatchSize int
+	Workers   int
+	// Dir is the parent directory for WAL files; empty uses the system temp
+	// dir. Each run writes into a fresh subdirectory (recovery-on-open would
+	// otherwise replay the previous run) that is removed afterwards.
+	Dir string
+	// Fsync is the WAL's sync policy. The committed baseline uses
+	// wal.FsyncNever: it measures the append/encode path without the
+	// device-dependent fsync cost, which is what a cross-machine regression
+	// threshold can hold steady.
+	Fsync wal.FsyncPolicy
+}
+
+// WALBench runs the scenario and returns one row without a WAL and one with.
+// The pair makes the durability overhead visible within a single report, and
+// both rows are compared against the committed baseline by benchdiff.
+func WALBench(cfg WALBenchConfig) []RunResult {
+	ds := datasets.GenRetailer(cfg.Retailer)
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), cfg.BatchSize)
+	return []RunResult{
+		walRun("db-no-wal", ds, stream, cfg, false),
+		walRun("db-wal", ds, stream, cfg, true),
+	}
+}
+
+// walRun drives one db.DB over the stream with the fig7 cofactor view
+// registered, optionally logging every batch to a WAL in a fresh directory.
+func walRun(name string, ds *datasets.Dataset, stream []datasets.Batch, cfg WALBenchConfig, durable bool) RunResult {
+	res := RunResult{Name: name}
+
+	var dur *db.DurabilityOptions
+	if durable {
+		dir, err := os.MkdirTemp(cfg.Dir, "fivm-walbench-*")
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		defer os.RemoveAll(dir)
+		dur = &db.DurabilityOptions{Dir: dir, Fsync: cfg.Fsync}
+	}
+
+	cat := db.Catalog{}
+	for _, rd := range ds.Query.Rels {
+		cat[rd.Name] = rd.Schema
+	}
+	d, err := db.Open(cat, db.Options{Durability: dur})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer d.Close()
+	if _, err := db.CreateView[ring.Triple](d, "cofactor", ds.Query.Rename("cofactor"),
+		ring.Cofactor{}, tripleLift(ds.Query.Vars()),
+		db.ViewOptions{Workers: cfg.Workers, ComposeChains: true}); err != nil {
+		res.Err = err
+		return res
+	}
+
+	lats := make([]time.Duration, 0, len(stream))
+	up := make([]db.Update, 1)
+	start := time.Now()
+	for _, b := range stream {
+		up[0] = db.Update{Rel: b.Rel, Tuples: b.Tuples, Mult: 1}
+		bs := time.Now()
+		if err := d.Apply(up); err != nil {
+			res.Err = err
+			break
+		}
+		lats = append(lats, time.Since(bs))
+		res.Tuples += len(b.Tuples)
+	}
+	res.Elapsed = time.Since(start)
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.Throughput = float64(res.Tuples) / s
+	}
+	res.Views = 1
+	res.PeakMem = d.MemoryBytes()
+	res.P50Batch = percentile(lats, 0.50)
+	res.P99Batch = percentile(lats, 0.99)
+	return res
+}

@@ -118,6 +118,24 @@ func (s *BaseStore) Base(rel string) *Relation[int64] {
 	return m
 }
 
+// AdoptBase replaces the merged contents of a registered relation with r,
+// discarding any pending log entries. It is the checkpoint-restore path: a
+// recovery layer hands the store a freshly decoded multiplicity relation and
+// the store owns it from then on. The relation's schema must equal the
+// registered one.
+func (s *BaseStore) AdoptBase(rel string, r *Relation[int64]) error {
+	sch, ok := s.schemas[rel]
+	if !ok {
+		return fmt.Errorf("data: base relation %q not registered", rel)
+	}
+	if !sch.Equal(r.Schema()) {
+		return fmt.Errorf("data: adopt %q: schema %v does not match registered %v", rel, r.Schema(), sch)
+	}
+	s.merged[rel] = r
+	s.pending[rel] = nil
+	return nil
+}
+
 // Attach registers an observer under an id for the given relations (nil or
 // empty rels means all). Observers run synchronously per applied batch in
 // attach order; detach by id. Attaching an id twice replaces the previous

@@ -35,6 +35,7 @@ import (
 
 	"fivm/internal/data"
 	"fivm/internal/sqlparse"
+	"fivm/internal/wal"
 )
 
 // Catalog maps base relation names to their schemas; it is the same type
@@ -49,6 +50,10 @@ type Options struct {
 	// cold. The collector costs one observation per stored base tuple per
 	// batch; leave it on unless ingest is the only thing that matters.
 	DisableStats bool
+	// Durability, when non-nil, enables the write-ahead log: batches are
+	// logged before they advance any in-memory state, SQL views persist in
+	// the catalog, and Open recovers checkpoint + tail from the directory.
+	Durability *DurabilityOptions
 }
 
 // Update is one element of an applied batch: tuples of a base relation with
@@ -91,9 +96,26 @@ type DB struct {
 	applied uint64 // applied update batches
 
 	conv convCache
+	// convSeq tags conversion-cache entries per fan-out attempt. It is
+	// deliberately independent of the applied counter: a batch that fails
+	// mid-fan-out does not advance applied, and a retry must not reuse the
+	// failed attempt's cached conversions.
+	convSeq uint64
 
 	// Apply scratch, reused across calls (the store copies what it keeps).
 	baseBatch []data.BaseUpdate
+
+	// Durability state (nil/zero when Options.Durability is nil).
+	log       *wal.Log
+	ckptEvery uint64
+	sinceCkpt uint64
+	sqlViews  map[string]wal.ViewDef // persisted catalog: SQL-defined views
+	recovery  *RecoveryInfo
+	// recovering suppresses WAL writes while Open replays the log (replayed
+	// operations are already in it); closing suppresses drop logging while
+	// Close tears views down (they must survive restart).
+	recovering bool
+	closing    bool
 }
 
 // registeredView is the ring-erased handle the DB keeps per view; the typed
@@ -112,6 +134,13 @@ type registeredView interface {
 // Open creates a DB over the cataloged base relations (registered in sorted
 // name order, so iteration order is deterministic). The catalog is fixed at
 // Open; views come and go afterwards via CreateView / DropView.
+//
+// With Options.Durability set, Open also opens the write-ahead log and
+// recovers whatever the directory holds: the latest valid checkpoint seeds
+// the base relations, persisted SQL views are re-created through the
+// ordinary backfill path, and the WAL tail replays batch-by-batch — so the
+// recovered epochs are exactly the uninterrupted run's. Recovery() reports
+// what was restored.
 func Open(cat Catalog, opts Options) (*DB, error) {
 	if len(cat) == 0 {
 		return nil, fmt.Errorf("db: empty catalog")
@@ -141,6 +170,25 @@ func Open(cat Catalog, opts Options) (*DB, error) {
 		d.stats = data.NewStats()
 	}
 	d.publish()
+	if du := opts.Durability; du != nil {
+		d.sqlViews = make(map[string]wal.ViewDef)
+		d.ckptEvery = du.CheckpointEvery
+		log, rec, err := wal.Open(wal.Options{
+			Dir:          du.Dir,
+			FS:           du.FS,
+			Fsync:        du.Fsync,
+			SyncInterval: du.SyncInterval,
+			SegmentBytes: du.SegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("db: open wal: %w", err)
+		}
+		d.log = log
+		if err := d.recoverFrom(rec); err != nil {
+			_ = log.Close()
+			return nil, err
+		}
+	}
 	return d, nil
 }
 
@@ -222,15 +270,23 @@ func (d *DB) MemoryBytes() int {
 	return total
 }
 
-// Apply ingests one batch of updates: it is appended to the shared base
-// store's update log exactly once (tuple storage shared, no per-tuple work;
-// the merged bases compact lazily on demand), fanned out to every
-// registered view — which lift it into their rings once per distinct ring,
-// not once per view — and one cross-view Epoch is published at the end. It
-// is the DB's only write path; deletions are updates with negative Mult.
+// Apply ingests one batch of updates: it is validated, logged to the WAL
+// (when durability is enabled — before any in-memory state advances, so a
+// failed or torn append changes nothing and recovery never sees a state the
+// log does not), appended to the shared base store's update log exactly once
+// (tuple storage shared, no per-tuple work; the merged bases compact lazily
+// on demand), fanned out to every registered view — which lift it into their
+// rings once per distinct ring, not once per view — and one cross-view Epoch
+// is published at the end. It is the DB's only write path; deletions are
+// updates with negative Mult.
 //
-// A view-maintenance error aborts the fan-out mid-batch and leaves the DB
-// torn (some views ahead of others); treat it as fatal and rebuild.
+// Failure atomicity: on any error the applied counter, the statistics, and
+// the published epoch are untouched — a reader on serve.Reader can never
+// observe a half-applied epoch. A WAL append error additionally poisons the
+// log (ErrClosed on further appends): the on-disk tail is no longer trusted,
+// and the caller should close and re-open to recover. A view-maintenance
+// error mid-fan-out leaves the *unpublished* view states torn (some views
+// ahead of others); treat it as fatal and rebuild from the log.
 func (d *DB) Apply(batch []Update) error {
 	d.baseBatch = d.baseBatch[:0]
 	for _, u := range batch {
@@ -241,8 +297,8 @@ func (d *DB) Apply(batch []Update) error {
 		if !ok {
 			return fmt.Errorf("db: unknown relation %q", u.Rel)
 		}
-		// Validate arity up front, so a rejected batch leaves the applied
-		// counter and the statistics untouched.
+		// Validate arity up front, so a rejected batch leaves the log, the
+		// applied counter, and the statistics untouched.
 		for _, t := range u.Tuples {
 			if len(t) != len(sch) {
 				return fmt.Errorf("db: %q tuple %v does not match schema %v", u.Rel, t, sch)
@@ -250,11 +306,28 @@ func (d *DB) Apply(batch []Update) error {
 		}
 		d.baseBatch = append(d.baseBatch, data.BaseUpdate{Rel: u.Rel, Tuples: u.Tuples, Mult: u.Mult})
 	}
+	return d.applyBase(d.baseBatch, true)
+}
 
+// applyBase is the shared tail of Apply and WAL replay: log (optional), fan
+// out, then — only after full success — advance the counters, observe the
+// statistics, and publish the next epoch.
+func (d *DB) applyBase(batch []data.BaseUpdate, logIt bool) error {
+	if logIt && d.log != nil {
+		if err := d.log.AppendBatch(d.applied+1, batch); err != nil {
+			return fmt.Errorf("db: wal append: %w", err)
+		}
+	}
+	d.convSeq++
+	d.conv.seq = d.convSeq
+	// Advance the shared store once, then fan out to the views through the
+	// store's observe hooks.
+	if err := d.store.ApplyBatch(batch); err != nil {
+		return err
+	}
 	d.applied++
-	d.conv.seq = d.applied
 	if d.stats != nil {
-		for _, u := range d.baseBatch {
+		for _, u := range batch {
 			sch, _ := d.store.Schema(u.Rel)
 			mult := u.Mult
 			if mult == 0 {
@@ -263,12 +336,16 @@ func (d *DB) Apply(batch []Update) error {
 			data.ObserveDeltaTuples(d.stats, u.Rel, sch, u.Tuples, mult)
 		}
 	}
-	// Advance the shared store once, then fan out to the views through the
-	// store's observe hooks.
-	if err := d.store.ApplyBatch(d.baseBatch); err != nil {
-		return err
-	}
 	d.publish()
+	if d.ckptEvery > 0 && !d.recovering {
+		// The batch above is applied and durable regardless: a checkpoint
+		// failure here reports the checkpoint's error, not the batch's.
+		if d.sinceCkpt++; d.sinceCkpt >= d.ckptEvery {
+			if err := d.Checkpoint(); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -281,6 +358,14 @@ func (d *DB) DropView(name string) error {
 	d.mu.RUnlock()
 	if v == nil {
 		return fmt.Errorf("db: unknown view %q", name)
+	}
+	if d.log != nil && !d.recovering && !d.closing {
+		// Log the drop before tearing down, so a crash between the two
+		// re-creates and immediately drops rather than resurrecting.
+		if err := d.log.AppendDropView(name); err != nil {
+			return fmt.Errorf("db: wal append: %w", err)
+		}
+		delete(d.sqlViews, name)
 	}
 	d.store.Detach(name)
 	v.closeView()
@@ -297,13 +382,18 @@ func (d *DB) DropView(name string) error {
 	return nil
 }
 
-// Close drops every view (stopping worker pools). The DB must not be used
-// afterwards.
+// Close drops every view (stopping worker pools) without logging the drops
+// — the catalog survives restart — and closes the WAL (final sync included).
+// The DB must not be used afterwards.
 func (d *DB) Close() error {
+	d.closing = true
 	for _, name := range d.Views() {
 		if err := d.DropView(name); err != nil {
 			return err
 		}
+	}
+	if d.log != nil {
+		return d.log.Close()
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"fivm/internal/ring"
 	"fivm/internal/sqlparse"
+	"fivm/internal/wal"
 )
 
 // CreateViewSQL registers a view from SQL text — either a full
@@ -33,7 +34,30 @@ func CreateViewSQL(d *DB, name, sql string, opts ViewOptions) (*View[float64], e
 	default:
 		return nil, fmt.Errorf("db: %s is not a view definition", st.Kind)
 	}
-	return CreateView[float64](d, name, st.Select.Query, ring.Float{}, st.Select.LiftFloat(), opts)
+	v, err := CreateView[float64](d, name, st.Select.Query, ring.Float{}, st.Select.LiftFloat(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if d.log != nil {
+		def := wal.ViewDef{
+			Name:            name,
+			SQL:             sql,
+			Workers:         opts.Workers,
+			ComposeChains:   opts.ComposeChains,
+			CostMaterialize: opts.CostMaterialize,
+			AutoReoptimize:  opts.AutoReoptimize,
+		}
+		if !d.recovering {
+			// Log the creation; if the append fails the view cannot be made
+			// durable, so undo it rather than let memory and log diverge.
+			if err := d.log.AppendCreateView(def); err != nil {
+				_ = d.DropView(name)
+				return nil, fmt.Errorf("db: wal append: %w", err)
+			}
+		}
+		d.sqlViews[name] = def
+	}
+	return v, nil
 }
 
 // Exec executes one DDL statement — CREATE VIEW ... AS SELECT ... or
@@ -48,7 +72,9 @@ func (d *DB) Exec(sql string) (string, error) {
 	}
 	switch st.Kind {
 	case sqlparse.StmtCreateView:
-		if _, err := CreateView[float64](d, st.ViewName, st.Select.Query, ring.Float{}, st.Select.LiftFloat(), ViewOptions{}); err != nil {
+		// Route through CreateViewSQL so the view is persisted in the WAL
+		// catalog exactly like any other SQL-defined view.
+		if _, err := CreateViewSQL(d, st.ViewName, sql, ViewOptions{}); err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("created view %s", st.ViewName), nil

@@ -1,0 +1,282 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path"
+	"sort"
+	"strings"
+
+	"fivm/internal/data"
+)
+
+// Checkpoint files serialize one consistent prefix of the database — the
+// base-relation contents at an applied batch boundary plus the persisted
+// view catalog — so recovery replays only the WAL tail after the covered
+// LSN. Files are named ckpt-%016x.ck (hex LSN), written to a temp name and
+// renamed into place, so a checkpoint either exists completely or not at
+// all. Layout: 8-byte magic, version byte, 7 reserved bytes, payload,
+// trailing u32le CRC-32C of everything before it.
+const (
+	ckptMagic  = "FIVMCKP1"
+	ckptHdrLen = 16
+)
+
+// BaseTable is one base relation's serialized contents: rows with signed
+// multiplicities, ordered by encoded key so identical states produce
+// identical files.
+type BaseTable struct {
+	Rel    string
+	Schema data.Schema
+	Rows   []data.Tuple
+	Mults  []int64
+}
+
+// Checkpoint is the decoded (or to-be-written) checkpoint state.
+type Checkpoint struct {
+	// LSN is the last log sequence number the checkpoint covers: recovery
+	// replays only records with greater LSNs.
+	LSN uint64
+	// Applied is the DB's applied-batch counter at the checkpoint.
+	Applied uint64
+	// Seq is the DB's published epoch sequence at the checkpoint.
+	Seq uint64
+	// Views is the persisted view catalog, in registration order.
+	Views []ViewDef
+	// Bases are the base relations, in registration order.
+	Bases []BaseTable
+}
+
+func ckptFileName(lsn uint64) string { return fmt.Sprintf("ckpt-%016x.ck", lsn) }
+
+func encodeCheckpoint(ck *Checkpoint) []byte {
+	b := make([]byte, 0, 4096)
+	var hdr [ckptHdrLen]byte
+	copy(hdr[:8], ckptMagic)
+	hdr[8] = segVersion
+	b = append(b, hdr[:]...)
+	b = appendUvarint(b, ck.LSN)
+	b = appendUvarint(b, ck.Applied)
+	b = appendUvarint(b, ck.Seq)
+	b = appendUvarint(b, uint64(len(ck.Views)))
+	for _, def := range ck.Views {
+		// Reuse the record body encoding (type byte + dummy LSN included)
+		// so the two formats cannot drift apart.
+		b = appendFrame(b, encodeCreateViewBody(nil, 0, def))
+	}
+	b = appendUvarint(b, uint64(len(ck.Bases)))
+	for _, t := range ck.Bases {
+		b = appendString(b, t.Rel)
+		b = appendUvarint(b, uint64(len(t.Schema)))
+		for _, attr := range t.Schema {
+			b = appendString(b, attr)
+		}
+		b = appendUvarint(b, uint64(len(t.Rows)))
+		for i, row := range t.Rows {
+			b = appendVarint(b, t.Mults[i])
+			for _, v := range row {
+				b = data.AppendValue(b, v)
+			}
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(b, castagnoli))
+	return append(b, crc[:]...)
+}
+
+func decodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < ckptHdrLen+4 {
+		return nil, fmt.Errorf("wal: checkpoint too short (%d bytes)", len(b))
+	}
+	body, crcBytes := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, fmt.Errorf("wal: checkpoint CRC mismatch")
+	}
+	if string(body[:8]) != ckptMagic {
+		return nil, fmt.Errorf("wal: bad checkpoint magic %q", body[:8])
+	}
+	ck := &Checkpoint{}
+	r := recordReader{b: body, at: ckptHdrLen}
+	var err error
+	if ck.LSN, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if ck.Applied, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if ck.Seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	nViews, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nViews > uint64(len(body)) {
+		return nil, fmt.Errorf("wal: implausible view count %d", nViews)
+	}
+	for i := uint64(0); i < nViews; i++ {
+		rec, n, err := decodeRecord(r.b[r.at:])
+		if err != nil {
+			return nil, fmt.Errorf("wal: checkpoint view %d: %w", i, err)
+		}
+		if rec.Type != recCreateView {
+			return nil, fmt.Errorf("wal: checkpoint view %d: record type %d", i, rec.Type)
+		}
+		ck.Views = append(ck.Views, *rec.Create)
+		r.at += n
+	}
+	nRels, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nRels > uint64(len(body)) {
+		return nil, fmt.Errorf("wal: implausible relation count %d", nRels)
+	}
+	for i := uint64(0); i < nRels; i++ {
+		var t BaseTable
+		if t.Rel, err = r.str(); err != nil {
+			return nil, err
+		}
+		arity, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if arity > 1<<16 {
+			return nil, fmt.Errorf("wal: implausible arity %d", arity)
+		}
+		t.Schema = make(data.Schema, arity)
+		for j := range t.Schema {
+			if t.Schema[j], err = r.str(); err != nil {
+				return nil, err
+			}
+		}
+		nRows, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nRows > uint64(len(body)) {
+			return nil, fmt.Errorf("wal: implausible row count %d", nRows)
+		}
+		t.Rows = make([]data.Tuple, 0, nRows)
+		t.Mults = make([]int64, 0, nRows)
+		for j := uint64(0); j < nRows; j++ {
+			m, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			row, err := r.tuple(int(arity))
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, row)
+			t.Mults = append(t.Mults, m)
+		}
+		ck.Bases = append(ck.Bases, t)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// WriteCheckpoint persists ck (stamping it with the log's current LSN),
+// publishes it atomically via temp-file rename, then rotates to a fresh
+// segment and prunes everything the checkpoint makes redundant: older
+// segments and older checkpoints. The log must be healthy.
+func (l *Log) WriteCheckpoint(ck *Checkpoint) error {
+	if err := l.usable(); err != nil {
+		return err
+	}
+	ck.LSN = l.lsn
+	// Everything covered must be durable before the checkpoint claims it.
+	if err := l.Sync(); err != nil {
+		return err
+	}
+
+	enc := encodeCheckpoint(ck)
+	tmp := path.Join(l.dir, "ckpt.tmp")
+	f, err := l.opts.FS.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: create checkpoint: %w", err)
+	}
+	if _, err := f.Write(enc); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	final := path.Join(l.dir, ckptFileName(ck.LSN))
+	if err := l.opts.FS.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: publish checkpoint: %w", err)
+	}
+
+	// Start a fresh segment so every earlier one holds only covered
+	// records, then prune them along with superseded checkpoints.
+	if err := l.rotate(); err != nil {
+		l.failed = err
+		return err
+	}
+	l.prune(ck.LSN)
+	return nil
+}
+
+// prune removes segments older than the current one and checkpoints older
+// than the one covering lsn. Best-effort: pruning failures leave garbage,
+// not incorrectness.
+func (l *Log) prune(lsn uint64) {
+	names, err := l.opts.FS.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		switch {
+		case strings.HasPrefix(n, "wal-") && strings.HasSuffix(n, ".seg"):
+			if seq, ok := parseSegName(n); ok && seq < l.segSeq {
+				_ = l.opts.FS.Remove(path.Join(l.dir, n))
+			}
+		case strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".ck"):
+			if ckLSN, ok := parseCkptName(n); ok && ckLSN < lsn {
+				_ = l.opts.FS.Remove(path.Join(l.dir, n))
+			}
+		}
+	}
+}
+
+func parseCkptName(name string) (uint64, bool) {
+	var lsn uint64
+	if _, err := fmt.Sscanf(name, "ckpt-%x.ck", &lsn); err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// loadLatestCheckpoint returns the newest readable checkpoint among names
+// (nil if none exists). Unreadable or corrupt candidates are skipped in
+// favor of older ones — a torn temp file must never block recovery.
+func loadLatestCheckpoint(fs VFS, dir string, names []string) (*Checkpoint, error) {
+	var cks []string
+	for _, n := range names {
+		if strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".ck") {
+			cks = append(cks, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(cks)))
+	for _, n := range cks {
+		b, err := fs.ReadFile(path.Join(dir, n))
+		if err != nil {
+			continue
+		}
+		ck, err := decodeCheckpoint(b)
+		if err != nil {
+			continue
+		}
+		return ck, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package wal
+
+// raceEnabled reports whether the race detector instruments this build; its
+// instrumentation allocates, so allocation-count guards skip under it.
+const raceEnabled = false

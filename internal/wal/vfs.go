@@ -1,0 +1,106 @@
+package wal
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// VFS is the small filesystem surface the WAL writes through. Wrapping all
+// file I/O behind it is what makes crash recovery testable: the in-memory
+// implementation (NewMemFS) gives byte-exact control over what "survived",
+// and the fault-injecting wrapper (NewFaultFS) turns write/sync/close errors
+// and torn writes into deterministic unit tests. Production uses OSFS.
+//
+// Path semantics are the host's (the WAL only ever joins a directory with
+// flat file names). Implementations must be safe for the WAL's single-writer
+// discipline; they need not support concurrent writers to one file.
+type VFS interface {
+	// MkdirAll creates the directory (and parents) if missing.
+	MkdirAll(dir string) error
+	// ReadDir returns the names (not paths) of the directory's entries in
+	// sorted order.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// Create creates or truncates a file for writing.
+	Create(name string) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname (the checkpoint
+	// publish step).
+	Rename(oldname, newname string) error
+	// Truncate cuts the named file to size bytes (torn-tail repair).
+	Truncate(name string, size int64) error
+}
+
+// File is a writable log file: sequential writes, explicit sync, close.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync forces written bytes to stable storage; a record is durable (and
+	// a batch acknowledgeable under FsyncAlways) only after Sync returns.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production VFS over the real filesystem. Create and Rename
+// sync the parent directory so newly created segments and published
+// checkpoints survive a crash of the directory metadata too (best-effort:
+// platforms that cannot fsync directories are tolerated).
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	syncDir(filepath.Dir(name))
+	return f, nil
+}
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(newname))
+	return nil
+}
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// syncDir fsyncs a directory so entry creation/rename is durable.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// isNotExist reports whether err means a missing file/directory, across VFS
+// implementations.
+func isNotExist(err error) bool {
+	return err != nil && (os.IsNotExist(err) || err == fs.ErrNotExist)
+}
