@@ -1,8 +1,9 @@
 // Command benchdiff compares two BENCH JSON reports produced by
 // `fivm bench` and exits nonzero when the second regresses the first:
-// scenario throughput down, microbenchmark ns/op up beyond the threshold,
-// or any allocs/op increase at all. CI runs it against the committed
-// baseline at the repo root.
+// scenario throughput down, microbenchmark ns/op or bytes/op up beyond the
+// threshold, or any allocs/op increase at all. Regression lines carry the
+// baseline and current values plus the worsening factor. CI runs it against
+// the committed baseline at the repo root.
 //
 // Usage:
 //

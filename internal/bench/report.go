@@ -105,7 +105,7 @@ func ReadReport(path string) (*Report, error) {
 type Regression struct {
 	Kind   string // "scenario" or "micro"
 	Name   string // "scenario/case" or micro name
-	Metric string // "throughput_tps", "ns_per_op", "allocs_per_op", "missing"
+	Metric string // "throughput_tps", "ns_per_op", "bytes_per_op", "allocs_per_op", "missing"
 	Old    float64
 	New    float64
 	// Ratio is new/old for cost metrics and old/new for throughput, so > 1
@@ -121,13 +121,15 @@ func (r Regression) String() string {
 }
 
 // Compare diffs two reports and returns the regressions in cur relative to
-// base: scenario throughput drops and microbenchmark ns/op increases beyond
-// threshold (a fraction: 0.10 flags >10% changes), and any allocs/op
-// increase at all — allocation counts are deterministic, so they get no
-// noise allowance. Entries present only in cur (new benchmarks) are fine;
-// entries present only in base are reported as missing. Timed-out or
-// errored baseline scenarios are skipped: their throughput is not a
-// meaningful bar.
+// base: scenario throughput drops, microbenchmark ns/op and bytes/op
+// increases beyond threshold (a fraction: 0.10 flags >10% changes), and any
+// allocs/op increase at all — allocation counts are deterministic, so they
+// get no noise allowance. Bytes/op is near-deterministic but pooled paths
+// (arena block growth, map rehashes) amortize one-time costs across ops, so
+// it shares the ns/op noise threshold rather than the exact-match rule.
+// Entries present only in cur (new benchmarks) are fine; entries present
+// only in base are reported as missing. Timed-out or errored baseline
+// scenarios are skipped: their throughput is not a meaningful bar.
 func Compare(base, cur *Report, threshold float64) []Regression {
 	var regs []Regression
 
@@ -169,6 +171,11 @@ func Compare(base, cur *Report, threshold float64) []Regression {
 		if old.NsPerOp > 0 && now.NsPerOp > old.NsPerOp*(1+threshold) {
 			regs = append(regs, Regression{Kind: "micro", Name: old.Name, Metric: "ns_per_op",
 				Old: old.NsPerOp, New: now.NsPerOp, Ratio: now.NsPerOp / old.NsPerOp})
+		}
+		if old.BytesPerOp > 0 && float64(now.BytesPerOp) > float64(old.BytesPerOp)*(1+threshold) {
+			regs = append(regs, Regression{Kind: "micro", Name: old.Name, Metric: "bytes_per_op",
+				Old: float64(old.BytesPerOp), New: float64(now.BytesPerOp),
+				Ratio: float64(now.BytesPerOp) / float64(old.BytesPerOp)})
 		}
 		if now.AllocsPerOp > old.AllocsPerOp {
 			ratio := float64(now.AllocsPerOp + 1) // old may be 0

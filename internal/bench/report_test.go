@@ -15,7 +15,7 @@ func sampleReport() *Report {
 	}
 	r.Micro = []MicroResult{
 		{Name: "RelationGet", NsPerOp: 40, AllocsPerOp: 0},
-		{Name: "SnapshotPublish", NsPerOp: 9000, AllocsPerOp: 14},
+		{Name: "SnapshotPublish", NsPerOp: 9000, AllocsPerOp: 14, BytesPerOp: 3800},
 	}
 	return r
 }
@@ -60,6 +60,7 @@ func TestCompareWithinThresholdIsClean(t *testing.T) {
 	cur := sampleReport()
 	cur.Scenarios[0].ThroughputTPS *= 0.95 // -5% < 10% threshold
 	cur.Micro[0].NsPerOp *= 1.08           // +8% < 10% threshold
+	cur.Micro[1].BytesPerOp = 4100         // +8% < 10% threshold
 	if regs := Compare(sampleReport(), cur, 0.10); len(regs) != 0 {
 		t.Fatalf("within-threshold noise flagged: %v", regs)
 	}
@@ -70,11 +71,13 @@ func TestCompareFlagsInjectedRegressions(t *testing.T) {
 	cur.Scenarios[0].ThroughputTPS *= 0.8 // -20% throughput: regression
 	cur.Micro[0].NsPerOp *= 1.5           // +50% ns/op: regression
 	cur.Micro[0].AllocsPerOp = 1          // any alloc increase: regression
+	cur.Micro[1].BytesPerOp = 7600        // +100% bytes/op: regression
 	regs := Compare(sampleReport(), cur, 0.10)
 	want := map[string]bool{
 		"scenario fig7/F-IVM throughput_tps": false,
 		"micro RelationGet ns_per_op":        false,
 		"micro RelationGet allocs_per_op":    false,
+		"micro SnapshotPublish bytes_per_op": false,
 	}
 	for _, r := range regs {
 		key := r.Kind + " " + r.Name + " " + r.Metric
@@ -85,6 +88,9 @@ func TestCompareFlagsInjectedRegressions(t *testing.T) {
 		want[key] = true
 		if r.Ratio <= 1 {
 			t.Errorf("%s: ratio %.2f, want > 1", key, r.Ratio)
+		}
+		if r.Metric == "bytes_per_op" && (r.Old != 3800 || r.New != 7600) {
+			t.Errorf("%s: baseline/current values %.0f -> %.0f, want 3800 -> 7600", key, r.Old, r.New)
 		}
 	}
 	for key, seen := range want {
@@ -131,7 +137,7 @@ func TestMicroBenchNamesStable(t *testing.T) {
 	want := []string{
 		"TupleAppendKey", "RelationGet", "RelationMerge",
 		"RelationMergeTripleSteady", "TripleAddInto", "IndexProbe",
-		"SnapshotPublish",
+		"RadixSortKeys", "SnapshotPublish",
 	}
 	got := MicroBenches()
 	if len(got) != len(want) {

@@ -1,0 +1,63 @@
+package data
+
+import "fivm/internal/ring"
+
+// ReduceSealed reduces several relations key-wise into one sealed snapshot:
+// the disjoint union of their keys where keys do not repeat, the ring sum of
+// the payloads where they do. It is the publication path of the sharded
+// parallel maintainer — shard results partition the keyspace when the shard
+// variable is free (pure concatenation after sorting) and collapse onto the
+// same keys when it is aggregated away (payload summation) — and replaces
+// the merge-into-a-fresh-hash-relation reduce with one radix sort over the
+// gathered entry values: no intermediate relation, no per-key hashing, no
+// per-entry allocations beyond the single gathered run.
+//
+// The inputs must share a schema (same variables in the same order, so equal
+// tuples have equal encoded keys) and stay unmodified for the duration of
+// the call only: entry values are copied out, and payloads of rings with
+// in-place accumulation are deep-copied, so later mutation of the inputs
+// never bleeds into the returned snapshot. Keys whose payloads sum to zero
+// are dropped, matching Relation.Merge semantics. Where payloads are summed,
+// the combination order is sorted-key encounter order, which differs from
+// any sequential update order — non-integral float payloads may round
+// differently than an unsharded run (see Parallel's floating-point caveat).
+func ReduceSealed[P any](rg ring.Ring[P], schema Schema, parts []*Relation[P]) *RelationSnapshot[P] {
+	mut := ring.MutableOf(rg)
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	es := make([]Entry[P], 0, total)
+	for _, p := range parts {
+		p.entries.all(func(e *Entry[P]) bool {
+			c := sealed(e)
+			if mut != nil {
+				var o P
+				mut.CopyInto(&o, e.Payload)
+				c.Payload = o
+			}
+			es = append(es, c)
+			return true
+		})
+	}
+	radixSortEntries(es)
+	w := 0
+	for i := 0; i < len(es); {
+		j := i + 1
+		for j < len(es) && es[j].key == es[i].key {
+			if mut != nil {
+				mut.AddInto(&es[i].Payload, es[j].Payload)
+			} else {
+				es[i].Payload = rg.Add(es[i].Payload, es[j].Payload)
+			}
+			j++
+		}
+		if j == i+1 || !rg.IsZero(es[i].Payload) {
+			es[w] = es[i]
+			w++
+		}
+		i = j
+	}
+	es = es[:w]
+	return &RelationSnapshot[P]{schema: schema, ring: rg, n: len(es), chunks: appendChunked(nil, es, nil)}
+}

@@ -2,7 +2,6 @@ package data
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"fivm/internal/ring"
@@ -546,7 +545,7 @@ func (r *Relation[P]) SortedEntries() []Entry[P] {
 		out = append(out, *e)
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	radixSortEntries(out)
 	return out
 }
 

@@ -6,94 +6,134 @@ import (
 	"sync/atomic"
 )
 
-// Snapshot chunk arena: steady-state publishing allocates one entry-pointer
-// run per dirty chunk (see patch/mergeChunk), and under a continuous update
-// stream those runs are produced every epoch and die a few epochs later when
-// the snapshots referencing them are dropped — a textbook arena workload.
-// The arena bump-allocates runs out of fixed-size blocks and recycles a
-// block onto a freelist once no snapshot references it, so steady-state
-// Snapshot() publishing stops handing fresh slices to the garbage collector
-// each epoch.
+// Snapshot arena: steady-state publishing produces one entry run per dirty
+// chunk plus one chunk directory per epoch, and under a continuous update
+// stream those die a few epochs later when the snapshots referencing them
+// are dropped — a textbook arena workload. The arena bump-allocates both
+// (entry runs and directories are separate typed arenas of the same shape)
+// out of fixed-size blocks and recycles a block onto a freelist once no
+// snapshot references it, so steady-state Snapshot() publishing hands the
+// garbage collector almost nothing but the snapshot struct itself.
 //
-// Reclamation is reference-counted, not epoch-bounded, because snapshot
+// Reclamation is reference-counted at block granularity, because snapshot
 // lifetime is reader-controlled: a pinned reader may hold an old snapshot
-// for arbitrarily long (see serve.Registry), and nothing ever tells the
-// relation it was dropped. Each published snapshot takes one reference on
-// every distinct block its chunks live in, released by a GC cleanup when
-// the snapshot becomes unreachable; the writer holds one reference on the
-// block it is currently filling, released at the first publish after the
-// block fills up. A block whose count reaches zero is wiped (so its entry
-// pointers stop retaining sealed entries) and pushed onto the freelist.
+// arbitrarily long (see serve.Registry). Block references are taken per
+// publish GENERATION — a group of up to genSpan consecutive publishes — not
+// per snapshot: each block referenced by any of the generation's snapshots
+// holds one reference for the whole generation, and the generation's pin
+// set goes to a lock-guarded dead list (drained by the writer at each
+// publish) once every snapshot of the generation is dead. Generations
+// amortize the per-publish liveness bookkeeping to 1/genSpan of its cost.
+//
+// A generation's death is detected two ways, and the distinction is what
+// makes the arena actually recycle:
+//
+//   - Explicitly: every snapshot carries a reference count, Release drops a
+//     reference, and the last Release of the generation's last snapshot
+//     reports the generation dead immediately. The publishing relation
+//     itself holds (and releases, at the next publish) a reference on its
+//     previous snapshot, so a steady publish loop whose consumers Release
+//     reclaims each generation within genSpan publishes — deterministically,
+//     with no garbage collector involvement.
+//   - As a GC backstop: when the generation closes, a runtime.AddCleanup on
+//     a sentinel object (strongly referenced by every snapshot of the
+//     generation) reports death once all unreleased snapshots are collected.
+//     Snapshots that are never Released are therefore safe — merely slow to
+//     reclaim, because cleanup latency is a full GC cycle, and dead-but-
+//     unreclaimed blocks inflate the collector's heap target, which grows
+//     the cycle further: a high-rate publish loop relying on the backstop
+//     degenerates to plain allocation with extra steps. Release is the fast
+//     path, not a nicety.
+//
+// The backstop is a GC cleanup, not a weak.Pointer poll, for a subtle
+// reason beyond cost: polling weak pointers from the publish path resurrects
+// the dead. weak.Pointer.Value conjures a strong reference, so a poll that
+// lands inside a concurrent mark phase re-marks a dead generation live for
+// that whole GC cycle — and a steady publish stream polls far more often
+// than collections complete, so every mark phase overlaps a poll and no
+// generation is EVER collected (observed as unbounded heap growth in
+// exactly the benchmark this arena exists for). Cleanups run strictly after
+// the GC has proven death, so they cannot resurrect anything.
+//
+// The trade: blocks are reclaimed at generation granularity, so one pinned
+// reader holds the blocks its whole generation touched (bounded by genSpan
+// epochs' worth of runs), and a relation that stops publishing retains its
+// dead generations' blocks until it publishes again or becomes unreachable
+// itself. Blocks and freelists are writer-goroutine-only (no atomics, no
+// locks); the only cross-goroutine state is the snapshot reference counts
+// and the dead list guarded by deadMu.
 const (
-	// arenaBlockCap is the block size in entry pointers (32 KiB per block).
-	// Runs larger than a block — wholesale rebuilds, huge dirty ranges —
-	// fall back to plain GC allocations with a nil block.
-	arenaBlockCap = 4096
-	// arenaFreeMax caps the freelist; blocks beyond it are dropped to the GC.
-	arenaFreeMax = 8
+	// runBlockCap is the entry-run block size in entries. Runs larger than a
+	// block — wholesale rebuilds, huge dirty ranges — fall back to plain GC
+	// allocations with a nil block. Sized so a block of small-payload entries
+	// stays under the runtime's 32KB large-object threshold: large objects
+	// are zeroed eagerly on allocation, and that memclr dominates the publish
+	// profile whenever a fresh block is needed.
+	runBlockCap = 512
+	// dirBlockCap is the directory block size in chunk descriptors.
+	dirBlockCap = 512
+	// arenaFreeMax caps each freelist; blocks beyond it go back to the GC.
+	// Generation death is explicit-release-driven (genSpan publishes per
+	// generation, a handful of blocks each), so the freelist stays small in
+	// steady state; the cap only matters when the GC backstop reclaims a
+	// burst of generations leaked by callers that never Release.
+	arenaFreeMax = 256
+	// genSpan is the number of publishes grouped under one liveness sentinel.
+	genSpan = 16
 )
 
-// arenaBlock is one fixed-capacity allocation block. rc counts the
-// snapshots whose chunks point into buf, plus one for the writer while the
-// block is still being filled; mark dedupes the per-publish reference sweep
-// and is only ever touched by the writer goroutine.
-type arenaBlock[P any] struct {
-	rc    atomic.Int32
+// bumpBlock is one fixed-capacity allocation block of a bumpArena. rc counts
+// the publish generations whose snapshots have runs in buf, plus one for the
+// writer while the block is still being filled; mark dedupes the per-publish
+// reference bookkeeping. All fields are writer-goroutine owned.
+type bumpBlock[T any] struct {
+	rc    int
 	mark  uint64
-	buf   []*Entry[P]
-	owner *snapArena[P]
+	buf   []T
+	owner *bumpArena[T]
 }
 
-// release drops one reference; the last reference wipes the block and
-// returns it to the owner's freelist. Called from the writer (retired
-// blocks) and from GC cleanup goroutines (dropped snapshots).
-func (b *arenaBlock[P]) release() {
-	if b.rc.Add(-1) != 0 {
+// release drops one reference; the last reference returns the block to the
+// owner's freelist. The buffer is NOT wiped: a recycled block is overwritten
+// as it is reused and a discarded one is garbage wholesale, so the only cost
+// of keeping the stale contents is that a block parked on the freelist
+// retains references to the keys and payloads of its dead runs until reuse —
+// bounded by arenaFreeMax blocks of entries that in steady state mostly
+// still live in the relation anyway.
+func (b *bumpBlock[T]) release() {
+	b.rc--
+	if b.rc != 0 {
 		return
 	}
-	b.buf = b.buf[:cap(b.buf)]
-	clear(b.buf) // stop retaining sealed entries
 	b.buf = b.buf[:0]
 	a := b.owner
-	a.mu.Lock()
 	if len(a.free) < arenaFreeMax {
 		a.free = append(a.free, b)
 	}
-	a.mu.Unlock()
 }
 
-// releaseBlocks is the AddCleanup hook attached to each published snapshot.
-func releaseBlocks[P any](blocks []*arenaBlock[P]) {
-	for _, b := range blocks {
-		b.release()
-	}
-}
-
-// snapArena allocates snapshot chunk runs for one relation. All methods
-// except the freelist interior are writer-goroutine only.
-type snapArena[P any] struct {
-	cur *arenaBlock[P]
+// bumpArena bump-allocates fixed-capacity runs of T out of recycled blocks.
+type bumpArena[T any] struct {
+	blockCap int
+	cur      *bumpBlock[T]
 	// pending holds filled blocks whose writer reference is dropped at the
 	// next publish — not before, because runs already handed out of them
-	// belong to the snapshot that is still being built.
-	pending []*arenaBlock[P]
+	// belong to the snapshot still being built.
+	pending []*bumpBlock[T]
 	// lastBlk/lastStart remember the most recent allocation so trim can give
 	// unused capacity back to the bump pointer.
-	lastBlk   *arenaBlock[P]
+	lastBlk   *bumpBlock[T]
 	lastStart int
-	gen       uint64 // publish sweep marker (compared against block.mark)
-
-	mu   sync.Mutex
-	free []*arenaBlock[P]
+	free      []*bumpBlock[T]
 }
 
 // alloc returns an empty run with the given strict capacity bound and the
-// block it lives in (nil for oversize runs, which are plain allocations).
-// Callers must never append beyond the capacity — that would silently move
-// the run out of the block and break reference attribution.
-func (a *snapArena[P]) alloc(capacity int) ([]*Entry[P], *arenaBlock[P]) {
-	if capacity == 0 || capacity > arenaBlockCap {
-		return make([]*Entry[P], 0, capacity), nil
+// block it lives in (nil for zero-size and oversize runs, which are plain
+// allocations). Callers must never append beyond the capacity — that would
+// silently move the run out of the block and break reference attribution.
+func (a *bumpArena[T]) alloc(capacity int) ([]T, *bumpBlock[T]) {
+	if capacity == 0 || capacity > a.blockCap {
+		return make([]T, 0, capacity), nil
 	}
 	b := a.cur
 	if b == nil || len(b.buf)+capacity > cap(b.buf) {
@@ -111,7 +151,7 @@ func (a *snapArena[P]) alloc(capacity int) ([]*Entry[P], *arenaBlock[P]) {
 
 // trim gives the unused capacity of the most recent allocation back to the
 // block, so a run that ended shorter than its bound does not waste space.
-func (a *snapArena[P]) trim(run []*Entry[P], blk *arenaBlock[P]) {
+func (a *bumpArena[T]) trim(run []T, blk *bumpBlock[T]) {
 	if blk != nil && blk == a.lastBlk {
 		blk.buf = blk.buf[:a.lastStart+len(run)]
 	}
@@ -120,44 +160,244 @@ func (a *snapArena[P]) trim(run []*Entry[P], blk *arenaBlock[P]) {
 
 // take pops a recycled block or allocates a fresh one, holding the writer
 // reference.
-func (a *snapArena[P]) take() *arenaBlock[P] {
-	var b *arenaBlock[P]
-	a.mu.Lock()
+func (a *bumpArena[T]) take() *bumpBlock[T] {
+	var b *bumpBlock[T]
 	if n := len(a.free); n > 0 {
 		b = a.free[n-1]
 		a.free[n-1] = nil
 		a.free = a.free[:n-1]
+	} else {
+		b = &bumpBlock[T]{owner: a}
+		b.buf = make([]T, 0, a.blockCap)
 	}
-	a.mu.Unlock()
-	if b == nil {
-		b = &arenaBlock[P]{owner: a}
-		b.buf = make([]*Entry[P], 0, arenaBlockCap)
-	}
-	b.rc.Store(1)
+	b.rc = 1
 	return b
 }
 
-// publish pins s's blocks — one reference per distinct block among its
-// chunks, released by GC cleanup when s becomes unreachable — and then
-// drops the writer reference on blocks retired while building s. The order
-// matters: retired blocks may hold runs that belong to s.
-func (a *snapArena[P]) publish(s *RelationSnapshot[P]) {
-	a.gen++
-	var blocks []*arenaBlock[P]
-	for i := range s.chunks {
-		b := s.chunks[i].blk
-		if b != nil && b.mark != a.gen {
-			b.mark = a.gen
-			b.rc.Add(1)
-			blocks = append(blocks, b)
-		}
-	}
-	if len(blocks) > 0 {
-		runtime.AddCleanup(s, releaseBlocks[P], blocks)
-	}
+// releasePending drops the writer reference on blocks retired since the last
+// publish.
+func (a *bumpArena[T]) releasePending() {
 	for _, b := range a.pending {
 		b.release()
 	}
 	clear(a.pending)
 	a.pending = a.pending[:0]
+}
+
+// genSentinel is one publish generation's liveness anchor: every snapshot of
+// the generation strongly references it (RelationSnapshot.keep) and carries
+// the generation's death cleanup, which fires exactly when the last such
+// snapshot is collected. Deliberately non-empty — zero-size allocations
+// share one address, fusing every generation's identity — and deliberately
+// pointer-typed: a small pointer-free object would go through the runtime's
+// tiny allocator, which packs unrelated objects into shared 16-byte slots
+// whose storage lives as long as the longest-lived co-resident, so a dead
+// generation's cleanup could be deferred indefinitely.
+type genSentinel struct{ _ *genSentinel }
+
+// pinSet records the blocks one publish generation holds references on,
+// plus the generation's liveness accounting. Sets are pooled: draining a
+// dead generation recycles its set (and the set's slice capacity) for a
+// later generation.
+type pinSet[P any] struct {
+	owner *snapArena[P]
+	// live counts reasons the generation cannot be reclaimed: one held by
+	// the writer while the generation is open, one per published snapshot
+	// whose references have not all been dropped. The decrement that reaches
+	// zero reports the generation dead (any goroutine).
+	live atomic.Int32
+	// genID distinguishes incarnations of a recycled set, so a backstop
+	// cleanup queued for a previous incarnation cannot kill the current one;
+	// dead marks the set as already on the dead list. Both are guarded by
+	// owner.deadMu.
+	genID uint64
+	dead  bool
+	// stop cancels the incarnation's backstop cleanup; set at generation
+	// close, stopped on drain. Writer-only.
+	stop runtime.Cleanup
+
+	runs []*bumpBlock[Entry[P]]
+	dirs []*bumpBlock[snapChunk[P]]
+}
+
+// deadNote is the backstop cleanup's argument: the generation's pin set and
+// the incarnation it was armed for.
+type deadNote[P any] struct {
+	set *pinSet[P]
+	gen uint64
+}
+
+// snapArena allocates snapshot storage for one relation: entry runs, chunk
+// directories, and the generation bookkeeping that returns their blocks to
+// the freelists when every snapshot of a generation dies. Writer-goroutine
+// only, except the dead list (see deadMu).
+type snapArena[P any] struct {
+	runs bumpArena[Entry[P]]
+	dirs bumpArena[snapChunk[P]]
+	gen  uint64 // current generation id (block mark namespace)
+	n    int    // publishes in the current generation
+
+	cur    *genSentinel // open generation's sentinel (nil between generations)
+	curSet *pinSet[P]
+
+	// onDead is the generation death backstop, bound once so closing a
+	// generation allocates no closure. It runs on the GC's cleanup
+	// goroutine and only touches the dead list.
+	onDead func(deadNote[P])
+
+	deadMu sync.Mutex
+	dead   []*pinSet[P] // generations whose snapshots are all dead
+
+	drainScratch []*pinSet[P]
+	freeSets     []*pinSet[P]
+}
+
+func (a *snapArena[P]) init() {
+	a.runs.blockCap = runBlockCap
+	a.dirs.blockCap = dirBlockCap
+	a.onDead = func(n deadNote[P]) {
+		a.deadMu.Lock()
+		if n.set.genID == n.gen && !n.set.dead {
+			n.set.dead = true
+			a.dead = append(a.dead, n.set)
+		}
+		a.deadMu.Unlock()
+	}
+}
+
+// reportDead puts a generation's pin set on the dead list (idempotently) for
+// the writer to drain at the next publish. Called from the decrement that
+// took the set's live count to zero — any goroutine.
+func (a *snapArena[P]) reportDead(set *pinSet[P]) {
+	a.deadMu.Lock()
+	if !set.dead {
+		set.dead = true
+		a.dead = append(a.dead, set)
+	}
+	a.deadMu.Unlock()
+}
+
+// takeSet pops a recycled pin set or allocates a fresh one.
+func (a *snapArena[P]) takeSet() *pinSet[P] {
+	if n := len(a.freeSets); n > 0 {
+		s := a.freeSets[n-1]
+		a.freeSets[n-1] = nil
+		a.freeSets = a.freeSets[:n-1]
+		return s
+	}
+	return &pinSet[P]{owner: a}
+}
+
+// drain releases the blocks of generations reported dead since the last
+// publish, recycling their sets. The writer swaps the dead list out under
+// the mutex — bumping each set's incarnation there, so a straggling backstop
+// cleanup cannot re-kill the recycled set — and does the release work
+// outside it.
+func (a *snapArena[P]) drain() {
+	a.deadMu.Lock()
+	if len(a.dead) == 0 {
+		a.deadMu.Unlock()
+		return
+	}
+	dead := a.dead
+	a.dead = a.drainScratch[:0]
+	for _, set := range dead {
+		set.genID++
+		set.dead = false
+	}
+	a.deadMu.Unlock()
+	for i, set := range dead {
+		set.stop.Stop()
+		set.live.Store(0)
+		for _, b := range set.runs {
+			b.release()
+		}
+		clear(set.runs)
+		set.runs = set.runs[:0]
+		for _, b := range set.dirs {
+			b.release()
+		}
+		clear(set.dirs)
+		set.dirs = set.dirs[:0]
+		a.freeSets = append(a.freeSets, set)
+		dead[i] = nil
+	}
+	a.drainScratch = dead[:0]
+}
+
+// publish enrolls s in the current generation — opening one if needed,
+// pinning each block of s not already pinned by this generation, counting s
+// against the generation's live count with one reference held by the
+// publishing relation — and then drops the writer reference on blocks
+// retired while building s. The order matters: retired blocks may hold runs
+// that belong to s. Every genSpan publishes the generation closes: the
+// backstop cleanup is armed on the sentinel and the writer's live stake is
+// dropped, after which the generation dies with its last snapshot.
+func (a *snapArena[P]) publish(s *RelationSnapshot[P]) {
+	a.drain()
+	if a.cur == nil {
+		a.gen++
+		a.cur = &genSentinel{}
+		a.curSet = a.takeSet()
+		a.curSet.live.Store(1) // writer stake while the generation is open
+	}
+	s.keep = a.cur
+	s.set = a.curSet
+	s.refs.Store(1) // the relation's own reference, dropped at the next publish
+	a.curSet.live.Add(1)
+	for i := range s.chunks {
+		b := s.chunks[i].blk
+		if b != nil && b.mark != a.gen {
+			b.mark = a.gen
+			b.rc++
+			a.curSet.runs = append(a.curSet.runs, b)
+		}
+	}
+	if b := s.dirBlk; b != nil && b.mark != a.gen {
+		b.mark = a.gen
+		b.rc++
+		a.curSet.dirs = append(a.curSet.dirs, b)
+	}
+	a.n++
+	if a.n >= genSpan {
+		set := a.curSet
+		set.stop = runtime.AddCleanup(a.cur, a.onDead, deadNote[P]{set: set, gen: set.genID})
+		a.cur, a.curSet, a.n = nil, nil, 0
+		if set.live.Add(-1) == 0 {
+			a.reportDead(set)
+		}
+	}
+	a.runs.releasePending()
+	a.dirs.releasePending()
+}
+
+// Retain adds a reference to the snapshot, for handing it to an additional
+// independent owner; each owner must balance its reference with Release.
+// Snapshots not backed by the publish arena (Seal, ReduceSealed) need no
+// lifetime management and ignore both calls.
+func (s *RelationSnapshot[P]) Retain() {
+	if s != nil && s.set != nil {
+		s.refs.Add(1)
+	}
+}
+
+// Release drops one reference to the snapshot. Dropping the last reference
+// of the last snapshot of a publish generation returns the generation's
+// storage to the relation's arena at its next publish — the deterministic
+// reclamation path high-rate publish loops need (see the package comment).
+// Releasing is optional for correctness: unreleased snapshots are reclaimed
+// by the GC backstop once unreachable. Safe from any goroutine; releasing
+// more times than retained corrupts the count.
+func (s *RelationSnapshot[P]) Release() {
+	if s == nil || s.set == nil {
+		return
+	}
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	set := s.set
+	if set.live.Add(-1) != 0 {
+		return
+	}
+	set.owner.reportDead(set)
 }

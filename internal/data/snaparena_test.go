@@ -3,6 +3,7 @@ package data
 import (
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,10 +20,11 @@ func churnAndPublish(rng *rand.Rand, r *Relation[int64], n int) *RelationSnapsho
 }
 
 // TestArenaRecyclingPreservesPinnedSnapshots churns a relation through many
-// epochs while most snapshots are dropped and collected (running the arena's
-// release cleanups), with a few pinned: the pinned epochs must keep serving
-// their exact published contents even as the blocks around them are wiped
-// and reused, and the freshest snapshot must always equal the relation.
+// epochs while most snapshots are dropped and collected (so the publish-path
+// sweep releases their blocks), with a few pinned: the pinned epochs must
+// keep serving their exact published contents even as the blocks around them
+// are wiped and reused, and the freshest snapshot must always equal the
+// relation.
 func TestArenaRecyclingPreservesPinnedSnapshots(t *testing.T) {
 	rng := rand.New(rand.NewSource(91))
 	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
@@ -38,7 +40,7 @@ func TestArenaRecyclingPreservesPinnedSnapshots(t *testing.T) {
 			pins = append(pins, pin{snap: s, fp: snapFingerprint(s)})
 		}
 		if round%25 == 0 {
-			runtime.GC() // collect dropped snapshots, run arena cleanups
+			runtime.GC() // let dropped snapshots' backstop cleanups fire
 		}
 		if got, want := snapFingerprint(s), relFingerprint(r); got != want {
 			t.Fatalf("round %d: fresh snapshot diverges from relation", round)
@@ -52,28 +54,86 @@ func TestArenaRecyclingPreservesPinnedSnapshots(t *testing.T) {
 	}
 }
 
-// TestArenaRecyclesBlocks checks the arena actually completes its cycle:
-// once dropped snapshots are collected, retired blocks land on the freelist
-// for reuse instead of going back to the allocator. The release path runs on
-// GC cleanup goroutines, so the test churns and polls under a deadline.
+// TestArenaRecyclesReleased pins the deterministic reclamation contract:
+// when every published snapshot is Released, generations die and their
+// blocks return to the freelists without any garbage collection at all.
+func TestArenaRecyclesReleased(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	for i := 0; i < 3000; i++ {
+		r.Merge(Ints(int64(rng.Intn(600)), int64(rng.Intn(7))), int64(rng.Intn(9)-4))
+	}
+	r.Snapshot().Release()
+	// Publish far more than one refresh lap (chunk count) plus one
+	// generation span, so carried-over chunks rotate off their original
+	// blocks and those blocks' generations all die explicitly.
+	for i := 0; i < 2000; i++ {
+		r.Merge(Ints(int64(rng.Intn(600)), int64(rng.Intn(7))), int64(rng.Intn(9)-4))
+		r.Snapshot().Release()
+	}
+	a := &r.snap.arena
+	if len(a.runs.free) == 0 {
+		t.Error("no run block recycled despite every snapshot being released")
+	}
+	if len(a.dirs.free) == 0 {
+		t.Error("no directory block recycled despite every snapshot being released")
+	}
+	if len(a.freeSets) == 0 {
+		t.Error("no generation pin set recycled despite every snapshot being released")
+	}
+}
+
+// TestArenaConcurrentRelease releases snapshots from reader goroutines while
+// the writer keeps publishing — the cross-goroutine path of the reference
+// counts and the dead list (meaningful mainly under -race). Every snapshot
+// is verified against its fingerprint before release; pinned contents must
+// survive the concurrent churn.
+func TestArenaConcurrentRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	snaps := make(chan *RelationSnapshot[int64], 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range snaps {
+				_ = snapFingerprint(s)
+				s.Release()
+			}
+		}()
+	}
+	for round := 0; round < 400; round++ {
+		s := churnAndPublish(rng, r, 40)
+		if got, want := snapFingerprint(s), relFingerprint(r); got != want {
+			t.Errorf("round %d: fresh snapshot diverges from relation", round)
+		}
+		snaps <- s
+	}
+	close(snaps)
+	wg.Wait()
+}
+
+// TestArenaRecyclesBlocks checks the GC backstop completes the cycle for
+// snapshots that are dropped without Release: once the garbage collector
+// proves them dead, their generations' cleanups fire and the next publish
+// returns the blocks to the freelist for reuse. GC completion timing is not
+// synchronous, so the test churns and polls under a deadline.
 func TestArenaRecyclesBlocks(t *testing.T) {
 	rng := rand.New(rand.NewSource(92))
 	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
-	churnAndPublish(rng, r, 3000) // build a base and enable sealing
+	churnAndPublish(rng, r, 3000) // build a base and enable dirty tracking
 
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		// Keep publishing so filled blocks retire (their writer reference is
-		// only dropped at the next publish); drop every snapshot immediately.
+		// Keep publishing so filled blocks retire and later sweeps run; every
+		// snapshot is dropped immediately.
 		for i := 0; i < 40; i++ {
 			churnAndPublish(rng, r, 120)
 		}
 		runtime.GC()
-		time.Sleep(5 * time.Millisecond) // let cleanup goroutines run
-		r.snap.arena.mu.Lock()
-		free := len(r.snap.arena.free)
-		r.snap.arena.mu.Unlock()
-		if free > 0 {
+		churnAndPublish(rng, r, 1) // one more publish to sweep after the GC
+		if len(r.snap.arena.runs.free) > 0 || len(r.snap.arena.freeSets) > 0 {
 			return
 		}
 		if time.Now().After(deadline) {
@@ -87,19 +147,46 @@ func TestArenaRecyclesBlocks(t *testing.T) {
 // read back correctly.
 func TestArenaOversizeRunsBypassBlocks(t *testing.T) {
 	var a snapArena[int64]
-	run, blk := a.alloc(arenaBlockCap + 1)
+	a.init()
+	run, blk := a.runs.alloc(runBlockCap + 1)
 	if blk != nil {
 		t.Fatal("oversize run attributed to a block")
 	}
-	if cap(run) != arenaBlockCap+1 || len(run) != 0 {
+	if cap(run) != runBlockCap+1 || len(run) != 0 {
 		t.Fatalf("oversize run cap %d len %d", cap(run), len(run))
 	}
-	run2, blk2 := a.alloc(16)
+	run2, blk2 := a.runs.alloc(16)
 	if blk2 == nil || len(run2) != 0 {
 		t.Fatal("small run not block-allocated")
 	}
-	a.trim(run2[:4], blk2)
+	a.runs.trim(run2[:4], blk2)
 	if got := len(blk2.buf); got != 4 {
-		t.Fatalf("trim left block at %d pointers, want 4", got)
+		t.Fatalf("trim left block at %d entries, want 4", got)
+	}
+}
+
+// TestArenaDirectoryBlocksRecycle covers the directory arena the same way:
+// chunk directories are arena runs too, pinned by the snapshot's dirBlk and
+// released by the sweep.
+func TestArenaDirectoryBlocksRecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	s := churnAndPublish(rng, r, 3000)
+	if s.dirBlk == nil {
+		t.Fatal("published directory not arena-allocated")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for i := 0; i < 40; i++ {
+			churnAndPublish(rng, r, 120)
+		}
+		runtime.GC()
+		churnAndPublish(rng, r, 1)
+		if len(r.snap.arena.dirs.free) > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no directory block was ever recycled onto the freelist")
+		}
 	}
 }

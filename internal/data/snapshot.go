@@ -2,6 +2,7 @@ package data
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"fivm/internal/ring"
 )
@@ -20,28 +21,52 @@ const (
 // publication, so any number of goroutines may read it concurrently, with no
 // locks, while the source relation keeps changing.
 //
-// Entries are held in chunks sorted by encoded key. The key encoding
-// (Tuple.AppendKey) is self-delimiting and prefix-preserving — the encoding
-// of a tuple prefix is a byte-prefix of the full encoding — so the sorted
-// order groups every group-by prefix contiguously and ScanPrefix serves
-// leading-variable range scans without secondary indexes.
+// Entries are held by value in chunks sorted by encoded key. The key
+// encoding (Tuple.AppendKey) is self-delimiting and prefix-preserving — the
+// encoding of a tuple prefix is a byte-prefix of the full encoding — so the
+// sorted order groups every group-by prefix contiguously and ScanPrefix
+// serves leading-variable range scans without secondary indexes.
 //
-// Consecutive snapshots of one relation share the chunks (and the entries)
-// of every key range that did not change between publishes: publishing costs
-// O(changed keys · chunk size + chunk count), not O(relation size).
+// Consecutive snapshots of one relation share the chunks (and their entry
+// storage) of every key range that did not change between publishes:
+// publishing costs O(changed keys · chunk size + chunk count), not
+// O(relation size). Chunk storage is recycled through a block arena (see
+// snaparena.go), so entry pointers obtained from a snapshot (Lookup,
+// ScanPrefix, IterateEntries) are valid only while the snapshot itself is
+// reachable — copy the entry out before dropping the snapshot.
+//
+// Snapshots are reference counted: call Release when done with a snapshot
+// obtained from Relation.Snapshot, and Retain before handing it to an
+// additional independent owner. Releasing is optional — forgotten snapshots
+// are reclaimed by a GC backstop — but a high-rate publish loop that skips
+// Release makes storage reclamation wait on full collection cycles and
+// loses the arena's recycling entirely (see snaparena.go).
 type RelationSnapshot[P any] struct {
 	schema Schema
 	ring   ring.Ring[P]
 	n      int
 	chunks []snapChunk[P]
+	// dirBlk is the arena block the chunks directory itself lives in (nil
+	// for plain allocations); publication pins it like the run blocks.
+	dirBlk *bumpBlock[snapChunk[P]]
+	// keep anchors the publish generation this snapshot belongs to: while
+	// any snapshot of the generation is reachable, so is the sentinel, and
+	// the arena keeps the generation's blocks pinned (see snaparena.go).
+	keep *genSentinel
+	// refs counts the snapshot's owners (the publishing relation plus one
+	// per handle returned by Snapshot); set is the publish generation's pin
+	// set the last Release reports to. Both nil/unused for snapshots not
+	// backed by the arena (Seal, ReduceSealed).
+	refs atomic.Int32
+	set  *pinSet[P]
 }
 
 // snapChunk is one sorted chunk of a snapshot: an entry run plus the arena
 // block it lives in (nil for plain allocations), which publication uses to
 // pin the run's storage for the snapshot's lifetime (see snaparena.go).
 type snapChunk[P any] struct {
-	es  []*Entry[P]
-	blk *arenaBlock[P]
+	es  []Entry[P]
+	blk *bumpBlock[Entry[P]]
 }
 
 // snapState is the incremental publication machinery a relation carries once
@@ -50,17 +75,29 @@ type snapChunk[P any] struct {
 type snapState[P any] struct {
 	// dirtyKeys lists the keys changed since the last publish, deduplicated
 	// on the hot path by entry generation (one compare per touch) and again
-	// at publish after sorting; the slice is reset (capacity kept) per
+	// during the publish radix sort; the slice is reset (capacity kept) per
 	// publish, so steady-state dirty tracking does not allocate or hash.
 	dirtyKeys []string
 	// fullDirty marks wholesale invalidation (Clear): the next publish
 	// rebuilds from the live contents instead of patching.
 	fullDirty bool
 	last      *RelationSnapshot[P]
-	// arena allocates chunk entry runs; dirScratch is the reusable buffer
-	// the next chunk directory is assembled in before the exact-size copy.
+	// arena allocates chunk entry runs and directories; dirScratch is the
+	// reusable buffer the next chunk directory is assembled in before the
+	// exact-size arena copy.
 	arena      snapArena[P]
 	dirScratch []snapChunk[P]
+	// refresh is the round-robin chunk-refresh cursor: each patch copies the
+	// chunk at this index into a fresh arena run even when it is clean, so
+	// every chunk's storage is rewritten at least once per len(chunks)
+	// publishes. Without it, one long-clean chunk pins its whole arena block
+	// — and each block holds many publishes' runs — so steady-state arena
+	// footprint would grow with key-range staleness instead of staying
+	// proportional to the relation (observed as unbounded heap growth under
+	// a cycling update stream). With it, a block stops collecting new
+	// generation pins once the cursor has lapped it and is reclaimed as
+	// those generations die.
+	refresh int
 	// gen is the publish generation, bumped after every published snapshot.
 	// An entry whose gen is current has already been recorded dirty this
 	// epoch and (for mutable rings) owns private payload storage; an older
@@ -72,13 +109,14 @@ type snapState[P any] struct {
 	gen uint64
 }
 
-// sealEntry returns a snapshot-owned copy of a live entry: a fresh Entry
-// struct sharing the (immutable) tuple and the payload. For rings with
-// in-place accumulation the shared payload storage is protected by the
-// entry's generation — the live side privatizes it on the next touch
-// (touchEntry) — so sealing is O(1) regardless of payload size.
-func (r *Relation[P]) sealEntry(e *Entry[P]) *Entry[P] {
-	return &Entry[P]{key: e.key, Tuple: e.Tuple, Payload: e.Payload}
+// sealed returns the snapshot-owned copy of a live entry: the entry value
+// sharing the (immutable) tuple and the payload. For rings with in-place
+// accumulation the shared payload storage is protected by the entry's
+// generation — the live side privatizes it on the next touch (touchEntry) —
+// so sealing is O(1) regardless of payload size, and entry values land
+// directly in arena runs instead of individual heap allocations.
+func sealed[P any](e *Entry[P]) Entry[P] {
+	return Entry[P]{key: e.key, hash: e.hash, Tuple: e.Tuple, Payload: e.Payload}
 }
 
 // touchEntry prepares a stored entry for an in-place payload mutation: on
@@ -125,97 +163,109 @@ func (r *Relation[P]) markInserted(e *Entry[P]) {
 // O(keys changed since the previous call) and shares all unchanged storage
 // with the previous snapshot (a call with no changes returns the previous
 // snapshot itself). Snapshot must be called from the goroutine that mutates
-// the relation; the returned snapshot may then be read from any goroutine.
+// the relation; the returned snapshot may then be read from any goroutine,
+// and should be Released when no longer needed so its storage returns to
+// the relation's arena instead of waiting on the garbage collector.
 func (r *Relation[P]) Snapshot() *RelationSnapshot[P] {
 	if r.snap == nil {
 		r.snap = &snapState[P]{gen: 1}
-		r.snap.last = r.buildSnapshot(true)
+		r.snap.arena.init()
+		r.snap.last = r.buildSnapshot()
 		r.snap.arena.publish(r.snap.last)
 		r.snap.gen++
-		return r.snap.last
-	}
-	s := r.snap
-	switch {
-	case s.fullDirty:
-		s.fullDirty = false
-		s.dirtyKeys = s.dirtyKeys[:0]
-		s.last = r.buildSnapshot(true)
-		s.arena.publish(s.last)
+	} else if s := r.snap; s.fullDirty || len(s.dirtyKeys) > 0 {
+		var next *RelationSnapshot[P]
+		if s.fullDirty {
+			s.fullDirty = false
+			s.dirtyKeys = s.dirtyKeys[:0]
+			next = r.buildSnapshot()
+		} else {
+			next = s.last.patch(r, s.dirtyKeys)
+			s.dirtyKeys = s.dirtyKeys[:0]
+		}
+		// Publish (pinning the blocks next shares with the previous
+		// snapshot) before dropping the relation's reference on it.
+		s.arena.publish(next)
+		s.last.Release()
+		s.last = next
 		s.gen++
-	case len(s.dirtyKeys) > 0:
-		s.last = s.last.patch(r, s.dirtyKeys)
-		s.arena.publish(s.last)
-		s.dirtyKeys = s.dirtyKeys[:0]
-		s.gen++
 	}
-	return s.last
+	last := r.snap.last
+	last.refs.Add(1) // the returned handle's reference
+	return last
 }
 
 // Seal wraps a relation that will never be mutated again into a snapshot,
-// sharing its entries instead of copying them. It is the cheap publication
-// path for results rebuilt wholesale per batch (re-evaluation, parallel
-// shard reduction). Mutating the relation after Seal corrupts the snapshot.
+// copying its entry values (but not tuples or payload storage) into sorted
+// chunks. It is the cheap publication path for results rebuilt wholesale per
+// batch (re-evaluation, parallel shard reduction). Mutating the relation
+// after Seal corrupts the snapshot.
 func (r *Relation[P]) Seal() *RelationSnapshot[P] {
-	return r.buildSnapshot(false)
+	return r.buildSnapshot()
 }
 
-// buildSnapshot constructs a snapshot from the full live contents, copying
-// entries when seal is set and sharing them otherwise.
-func (r *Relation[P]) buildSnapshot(seal bool) *RelationSnapshot[P] {
-	var es []*Entry[P]
-	var blk *arenaBlock[P]
-	if seal && r.snap != nil {
-		es, blk = r.snap.arena.alloc(r.entries.len())
+// buildSnapshot constructs a snapshot from the full live contents, radix-
+// sorting the sealed entry values into one run.
+func (r *Relation[P]) buildSnapshot() *RelationSnapshot[P] {
+	var es []Entry[P]
+	var blk *bumpBlock[Entry[P]]
+	if r.snap != nil {
+		es, blk = r.snap.arena.runs.alloc(r.entries.len())
 	} else {
-		es = make([]*Entry[P], 0, r.entries.len())
+		es = make([]Entry[P], 0, r.entries.len())
 	}
 	r.entries.all(func(e *Entry[P]) bool {
-		if seal {
-			e = r.sealEntry(e)
-		}
-		es = append(es, e)
+		es = append(es, sealed(e))
 		return true
 	})
-	sort.Slice(es, func(i, j int) bool { return es[i].key < es[j].key })
+	radixSortEntries(es)
 	s := &RelationSnapshot[P]{schema: r.schema, ring: r.ring, n: len(es)}
-	s.chunks = appendChunked(nil, es, blk)
+	if r.snap == nil {
+		s.chunks = appendChunked(nil, es, blk)
+		return s
+	}
+	r.finishDir(s, appendChunked(r.snap.dirScratch[:0], es, blk))
 	return s
+}
+
+// finishDir installs an assembled chunk directory into s: an exact-size copy
+// allocated from the directory arena, with the scratch buffer cleared and
+// handed back for the next publish.
+func (r *Relation[P]) finishDir(s *RelationSnapshot[P], out []snapChunk[P]) {
+	dir, blk := r.snap.arena.dirs.alloc(len(out))
+	s.chunks = append(dir, out...)
+	s.dirBlk = blk
+	clear(out[:cap(out)])
+	r.snap.dirScratch = out[:0]
 }
 
 // patch publishes the next snapshot from the previous one: chunks covering
 // no dirty key are shared, chunks covering dirty keys are re-merged against
-// the live contents. The dirty list is sorted and deduplicated in place
-// (delete-then-reinsert within one epoch records a key twice).
+// the live contents. The dirty list is radix-sorted with duplicates dropped
+// during the distribution passes (delete-then-reinsert within one epoch
+// records a key twice; the merge below must see it once).
 func (prev *RelationSnapshot[P]) patch(r *Relation[P], keys []string) *RelationSnapshot[P] {
-	sort.Strings(keys)
-	w := 0
-	for i, k := range keys {
-		if i == 0 || k != keys[i-1] {
-			keys[w] = k
-			w++
-		}
-	}
-	keys = keys[:w]
+	keys = radixSortKeysDedup(keys)
 
 	next := &RelationSnapshot[P]{schema: prev.schema, ring: prev.ring, n: r.entries.len()}
 	arena := &r.snap.arena
 	if len(prev.chunks) == 0 {
-		buf, blk := arena.alloc(len(keys))
+		buf, blk := arena.runs.alloc(len(keys))
 		for _, k := range keys {
 			if e := r.lookupString(k); e != nil {
-				buf = append(buf, r.sealEntry(e))
+				buf = append(buf, sealed(e))
 			}
 		}
-		arena.trim(buf, blk)
-		next.chunks = appendChunked(nil, buf, blk)
+		arena.runs.trim(buf, blk)
+		r.finishDir(next, appendChunked(r.snap.dirScratch[:0], buf, blk))
 		return next
 	}
-	// The directory is assembled in a reusable scratch buffer, then copied to
-	// an exact-size slice the snapshot owns: one small allocation per publish
-	// instead of append-doubling churn.
 	out := r.snap.dirScratch[:0]
 	ki := 0
-	for ci, c := range prev.chunks {
+	cursor := r.snap.refresh % len(prev.chunks)
+	r.snap.refresh = cursor + 1
+	for ci := range prev.chunks {
+		c := prev.chunks[ci]
 		last := ci == len(prev.chunks)-1
 		// Chunk ci covers keys up to (not including) the next chunk's first
 		// key; the first chunk also absorbs smaller keys, the last all larger.
@@ -224,25 +274,30 @@ func (prev *RelationSnapshot[P]) patch(r *Relation[P], keys []string) *RelationS
 			ki++
 		}
 		if lo == ki {
+			if ci == cursor && c.blk != nil {
+				// Refresh turn: rewrite the clean chunk into a fresh run so
+				// its old block can eventually drain (see snapState.refresh).
+				run, blk := arena.runs.alloc(len(c.es))
+				run = append(run, c.es...)
+				out = appendChunked(out, run, blk)
+				continue
+			}
 			out = append(out, c)
 			continue
 		}
 		run, blk := mergeChunk(r, c.es, keys[lo:ki])
 		out = appendChunked(out, run, blk)
 	}
-	next.chunks = make([]snapChunk[P], len(out))
-	copy(next.chunks, out)
-	clear(out[:cap(out)])
-	r.snap.dirScratch = out[:0]
+	r.finishDir(next, out)
 	return next
 }
 
 // mergeChunk merges a sorted chunk with sorted dirty keys: dirty keys still
 // live are replaced by sealed copies of their current entries, dead ones are
-// dropped, and untouched entries are carried over by pointer. The merged run
+// dropped, and untouched entries are carried over by value. The merged run
 // is arena-allocated; len(c)+len(keys) is a strict upper bound on its size.
-func mergeChunk[P any](r *Relation[P], c []*Entry[P], keys []string) ([]*Entry[P], *arenaBlock[P]) {
-	arena := &r.snap.arena
+func mergeChunk[P any](r *Relation[P], c []Entry[P], keys []string) ([]Entry[P], *bumpBlock[Entry[P]]) {
+	arena := &r.snap.arena.runs
 	out, blk := arena.alloc(len(c) + len(keys))
 	i := 0
 	for _, k := range keys {
@@ -254,7 +309,7 @@ func mergeChunk[P any](r *Relation[P], c []*Entry[P], keys []string) ([]*Entry[P
 			i++ // superseded or deleted
 		}
 		if e := r.lookupString(k); e != nil {
-			out = append(out, r.sealEntry(e))
+			out = append(out, sealed(e))
 		}
 	}
 	out = append(out, c[i:]...)
@@ -266,7 +321,7 @@ func mergeChunk[P any](r *Relation[P], c []*Entry[P], keys []string) ([]*Entry[P
 // longer than snapChunkMax into snapChunkTarget-sized chunks (subslices of
 // one backing array, immutable after publication, all attributed to the
 // run's arena block).
-func appendChunked[P any](out []snapChunk[P], es []*Entry[P], blk *arenaBlock[P]) []snapChunk[P] {
+func appendChunked[P any](out []snapChunk[P], es []Entry[P], blk *bumpBlock[Entry[P]]) []snapChunk[P] {
 	for len(es) > snapChunkMax {
 		out = append(out, snapChunk[P]{es: es[:snapChunkTarget:snapChunkTarget], blk: blk})
 		es = es[snapChunkTarget:]
@@ -325,7 +380,8 @@ func (s *RelationSnapshot[P]) findChunk(key []byte) int {
 
 // Lookup returns the entry stored under an encoded tuple key, or nil. The
 // key bytes may live in a caller-owned scratch buffer; the lookup does not
-// allocate or retain them.
+// allocate or retain them. The returned entry is valid only while the
+// snapshot is reachable; copy it out before dropping the snapshot.
 func (s *RelationSnapshot[P]) Lookup(key []byte) *Entry[P] {
 	if len(s.chunks) == 0 {
 		return nil
@@ -333,7 +389,7 @@ func (s *RelationSnapshot[P]) Lookup(key []byte) *Entry[P] {
 	c := s.chunks[s.findChunk(key)].es
 	i := sort.Search(len(c), func(i int) bool { return cmpKey(c[i].key, key) >= 0 })
 	if i < len(c) && cmpKey(c[i].key, key) == 0 {
-		return c[i]
+		return &c[i]
 	}
 	return nil
 }
@@ -367,7 +423,8 @@ func (s *RelationSnapshot[P]) GetKey(key string) (P, bool) {
 // of values for a leading subset of the schema's variables (Tuple.AppendKey
 // of a prefix tuple); an empty prefix scans the whole snapshot. The
 // self-delimiting key encoding guarantees a byte-prefix match is exactly a
-// leading-variable value match.
+// leading-variable value match. Entries passed to f are valid only while the
+// snapshot is reachable.
 func (s *RelationSnapshot[P]) ScanPrefix(prefix []byte, f func(e *Entry[P]) bool) {
 	if len(s.chunks) == 0 {
 		return
@@ -378,7 +435,7 @@ func (s *RelationSnapshot[P]) ScanPrefix(prefix []byte, f func(e *Entry[P]) bool
 	for ; ci < len(s.chunks); ci++ {
 		c = s.chunks[ci].es
 		for ; i < len(c); i++ {
-			e := c[i]
+			e := &c[i]
 			if len(e.key) < len(prefix) || e.key[:len(prefix)] != string(prefix) {
 				return
 			}
@@ -393,8 +450,8 @@ func (s *RelationSnapshot[P]) ScanPrefix(prefix []byte, f func(e *Entry[P]) bool
 // Iterate calls f for each entry in encoded-key order until f returns false.
 func (s *RelationSnapshot[P]) Iterate(f func(t Tuple, p P) bool) {
 	for _, c := range s.chunks {
-		for _, e := range c.es {
-			if !f(e.Tuple, e.Payload) {
+		for i := range c.es {
+			if !f(c.es[i].Tuple, c.es[i].Payload) {
 				return
 			}
 		}
@@ -402,11 +459,12 @@ func (s *RelationSnapshot[P]) Iterate(f func(t Tuple, p P) bool) {
 }
 
 // IterateEntries calls f for each entry in encoded-key order until f returns
-// false. Entries are immutable and must not be modified.
+// false. Entries are immutable, must not be modified, and are valid only
+// while the snapshot is reachable.
 func (s *RelationSnapshot[P]) IterateEntries(f func(e *Entry[P]) bool) {
 	for _, c := range s.chunks {
-		for _, e := range c.es {
-			if !f(e) {
+		for i := range c.es {
+			if !f(&c.es[i]) {
 				return
 			}
 		}
@@ -418,9 +476,7 @@ func (s *RelationSnapshot[P]) IterateEntries(f func(e *Entry[P]) bool) {
 func (s *RelationSnapshot[P]) SortedEntries() []Entry[P] {
 	out := make([]Entry[P], 0, s.n)
 	for _, c := range s.chunks {
-		for _, e := range c.es {
-			out = append(out, *e)
-		}
+		out = append(out, c.es...)
 	}
 	return out
 }

@@ -107,6 +107,60 @@ func TestSnapshotUnchangedIsShared(t *testing.T) {
 	}
 }
 
+// TestSnapshotDeleteThenReinsertOneEpoch is the regression test for dirty-
+// list dedup: deleting a key and reinserting it within one publish epoch
+// records the key twice (markEntry on the cancel, markInserted on the fresh
+// entry), and the patch merge must see it exactly once — a duplicate key in
+// the sorted dirty list would insert the entry twice into the merged chunk,
+// corrupting the snapshot's sort invariant and Len.
+func TestSnapshotDeleteThenReinsertOneEpoch(t *testing.T) {
+	r := NewRelation[int64](ring.Int{}, NewSchema("A", "B"))
+	for i := int64(0); i < 200; i++ {
+		r.Merge(Ints(i, i%7), i+1)
+	}
+	r.Snapshot() // attach dirty tracking
+
+	// One epoch: delete 40 keys, reinsert 25 of them with new payloads, and
+	// delete-reinsert-delete a few more for odd touch counts.
+	for i := int64(0); i < 40; i++ {
+		tup := Ints(i*5, (i*5)%7)
+		p, ok := r.Get(tup)
+		if !ok {
+			t.Fatalf("key %d missing before delete", i*5)
+		}
+		r.Merge(tup, -p)
+		if i < 25 {
+			r.Merge(tup, 1000+i)
+		}
+		if i >= 35 {
+			r.Merge(tup, 7)
+			if p, ok = r.Get(tup); !ok || p != 7 {
+				t.Fatalf("key %d: payload %d after reinsert", i*5, p)
+			}
+			r.Merge(tup, -7)
+		}
+	}
+	s := r.Snapshot()
+	if got, want := snapFingerprint(s), relFingerprint(r); got != want {
+		t.Fatalf("snapshot diverges after delete-then-reinsert epoch:\n got %s\nwant %s", got, want)
+	}
+	if s.Len() != r.Len() {
+		t.Fatalf("snapshot Len %d != relation Len %d", s.Len(), r.Len())
+	}
+	// The sort invariant must hold: strictly increasing keys, no duplicates.
+	es := s.SortedEntries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].key >= es[i].key {
+			t.Fatalf("snapshot keys out of order or duplicated at %d: %q >= %q", i, es[i-1].key, es[i].key)
+		}
+	}
+	// And the next epoch must still patch cleanly on top.
+	r.Merge(Ints(0, 0), 3)
+	if got, want := snapFingerprint(r.Snapshot()), relFingerprint(r); got != want {
+		t.Fatalf("follow-up snapshot diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestSnapshotScanPrefix exercises prefix scans: every group of a leading
 // variable must be contiguous and complete.
 func TestSnapshotScanPrefix(t *testing.T) {

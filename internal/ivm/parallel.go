@@ -31,8 +31,9 @@ import (
 // star workloads). When the query has no variables to shard on, or workers
 // is 1, Parallel degenerates to a zero-overhead sequential delegate.
 //
-// Floating-point caveat: shard results are reduced in fixed shard order,
-// but that order differs from sequential update order, so non-integral
+// Floating-point caveat: shard results are reduced key-wise (Result in
+// fixed shard order, published snapshots in sorted-entry encounter order),
+// and either order differs from sequential update order, so non-integral
 // float payloads may round differently than a single-threaded run. Integer
 // and integral-float workloads (and the paper's benchmarks) are exact.
 type Parallel[P any] struct {
@@ -63,8 +64,10 @@ type Parallel[P any] struct {
 
 	// pub publishes the key-wise reduced result after each batch once
 	// serving is enabled (sharded mode only; the sequential fallback
-	// delegates to its inner maintainer's publisher).
-	pub publisher[P]
+	// delegates to its inner maintainer's publisher). reduceParts is the
+	// reusable shard-result list handed to data.ReduceSealed per publish.
+	pub         publisher[P]
+	reduceParts []*data.Relation[P]
 }
 
 // CollectStats attaches a statistics collector to the router: every delta

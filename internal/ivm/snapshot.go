@@ -418,7 +418,15 @@ func (p *Parallel[P]) maybePublish() {
 }
 
 func (p *Parallel[P]) publishSnapshot() *ViewSnapshot[P] {
-	res := p.Result().Seal()
+	// Reduce straight into a sealed snapshot: one radix sort over the
+	// gathered shard entries instead of a merge through a fresh hash
+	// relation (payloads are copied, so the live shard results stay free to
+	// mutate in later batches).
+	p.reduceParts = p.reduceParts[:0]
+	for _, m := range p.shards {
+		p.reduceParts = append(p.reduceParts, m.Result())
+	}
+	res := data.ReduceSealed(p.ring, p.reduceParts[0].Schema(), p.reduceParts)
 	views := map[string]*data.RelationSnapshot[P]{p.q.Name: res}
 	return p.pub.publish(res, views, nil)
 }
