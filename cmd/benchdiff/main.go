@@ -46,6 +46,7 @@ func main() {
 	if len(regs) == 0 {
 		fmt.Printf("benchdiff: ok, no regressions beyond %.0f%% (%d scenario rows, %d microbenchmarks compared)\n",
 			*threshold*100, len(base.Scenarios), len(base.Micro))
+		fmt.Print(bench.DeltaSummary(base, cur))
 		return
 	}
 	for _, r := range regs {

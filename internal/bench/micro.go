@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fivm/internal/data"
+	"fivm/internal/datasets"
 	"fivm/internal/ring"
 )
 
@@ -31,6 +32,9 @@ func MicroBenches() []MicroBench {
 		{"RelationMerge", microRelationMerge},
 		{"RelationMergeTripleSteady", microRelationMergeTripleSteady},
 		{"TripleAddInto", microTripleAddInto},
+		{"CofactorAxpy", microCofactorAxpy},
+		{"Rank1SymUpdate", microRank1SymUpdate},
+		{"ApplyDeltaSteady", microApplyDeltaSteady},
 		{"IndexProbe", microIndexProbe},
 		{"RadixSortKeys", microRadixSortKeys},
 		{"SnapshotPublish", microSnapshotPublish},
@@ -119,6 +123,91 @@ func microTripleAddInto(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		acc.AddInto(&d)
+	}
+}
+
+// microCofactorAxpy measures the dense scaled-accumulate path of the
+// cofactor ring: d += c*b for a constant c and a width-16 triple b whose
+// variables d already covers, which is one axpy over the 16-entry sum vector
+// and one over the 256-entry cofactor matrix (the scaleScatterAdd fast path
+// behind every scalar-weighted payload merge).
+func microCofactorAxpy(b *testing.B) {
+	cf := ring.Cofactor{}
+	w := cf.One()
+	for j := 0; j < 16; j++ {
+		w = cf.Mul(w, ring.LiftValue(j, float64(j)+0.5))
+	}
+	scalar := ring.Triple{C: 2}
+	var d ring.Triple
+	cf.MulInto(&d, &scalar, &w) // d now covers w's variables
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.MulAddInto(&d, &scalar, &w)
+	}
+}
+
+// microRank1SymUpdate measures the symmetric rank-1 outer-product kernel:
+// d += x*y for two width-16 triples over the same variables as d, whose
+// dominant cost is the sa·sbᵀ + sb·saᵀ update of the 16×16 cofactor matrix
+// (the inner loop of every pairwise view product in regression maintenance).
+func microRank1SymUpdate(b *testing.B) {
+	cf := ring.Cofactor{}
+	mk := func(off float64) ring.Triple {
+		t := cf.One()
+		for j := 0; j < 16; j++ {
+			t = cf.Mul(t, ring.LiftValue(j, off+float64(j)))
+		}
+		return t
+	}
+	x, y := mk(0.5), mk(1.25)
+	var d ring.Triple
+	cf.MulInto(&d, &x, &y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.MulAddInto(&d, &x, &y)
+	}
+}
+
+// microApplyDeltaSteady measures steady-state F-IVM delta application end to
+// end on a small retailer instance: the full stream is applied once to warm
+// the view tree, then each iteration applies one pre-built insert batch
+// followed by its negation, so every touched key already exists (payloads
+// oscillate between their warm value and warm+delta, never cancelling to
+// zero) and the measured work is pure delta propagation at constant state
+// size. One op covers the two ApplyDelta calls.
+func microApplyDeltaSteady(b *testing.B) {
+	ds := datasets.GenRetailer(datasets.RetailerConfig{
+		Locations: 6, Dates: 12, Items: 48, ItemsPerLocDate: 6, Seed: 9,
+	})
+	cs := newCofactorStrategies(ds.Query)
+	m, err := cs.FIVM(ds.NewOrder(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Init(); err != nil {
+		b.Fatal(err)
+	}
+	toDelta := tripleDelta(ds.Query)
+	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), 200)
+	for _, batch := range stream {
+		if err := m.ApplyDelta(batch.Rel, toDelta(batch)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d := toDelta(stream[0])
+	nd := d.Negate()
+	rel := stream[0].Rel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ApplyDelta(rel, d); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.ApplyDelta(rel, nd); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

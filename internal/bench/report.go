@@ -6,6 +6,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -99,6 +101,79 @@ func ReadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, r.Schema, ReportSchema)
 	}
 	return &r, nil
+}
+
+// DeltaSummary renders a per-row comparison of two reports as an aligned
+// text table: every baseline scenario row (baseline → current tuples/s) and
+// every microbenchmark (baseline → current ns/op), each with its relative
+// change, followed by rows that exist only in the current report. Compare
+// decides pass/fail; this is the context benchdiff prints alongside a clean
+// verdict so improvements are visible, not just the absence of regressions.
+func DeltaSummary(base, cur *Report) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "kind\tname\tbaseline\tcurrent\tdelta")
+	delta := func(old, new float64, downIsBetter bool) string {
+		if old <= 0 {
+			return "n/a"
+		}
+		d := (new - old) / old * 100
+		better := d < 0 == downIsBetter
+		mark := ""
+		if d != 0 && better {
+			mark = " (better)"
+		}
+		return fmt.Sprintf("%+.1f%%%s", d, mark)
+	}
+
+	curScen := make(map[string]ScenarioResult, len(cur.Scenarios))
+	for _, s := range cur.Scenarios {
+		curScen[s.Scenario+"/"+s.Case] = s
+	}
+	seen := make(map[string]bool, len(base.Scenarios))
+	for _, old := range base.Scenarios {
+		key := old.Scenario + "/" + old.Case
+		seen[key] = true
+		now, ok := curScen[key]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "scenario\t%s\t%.0f tps\tmissing\t\n", key, old.ThroughputTPS)
+		case old.Status != "ok" || now.Status != "ok":
+			fmt.Fprintf(w, "scenario\t%s\t%s\t%s\t\n", key, old.Status, now.Status)
+		default:
+			fmt.Fprintf(w, "scenario\t%s\t%.0f tps\t%.0f tps\t%s\n",
+				key, old.ThroughputTPS, now.ThroughputTPS, delta(old.ThroughputTPS, now.ThroughputTPS, false))
+		}
+	}
+	for _, s := range cur.Scenarios {
+		if key := s.Scenario + "/" + s.Case; !seen[key] {
+			fmt.Fprintf(w, "scenario\t%s\t—\t%.0f tps\tnew\n", key, s.ThroughputTPS)
+		}
+	}
+
+	curMicro := make(map[string]MicroResult, len(cur.Micro))
+	for _, m := range cur.Micro {
+		curMicro[m.Name] = m
+	}
+	seenMicro := make(map[string]bool, len(base.Micro))
+	for _, old := range base.Micro {
+		seenMicro[old.Name] = true
+		now, ok := curMicro[old.Name]
+		if !ok {
+			fmt.Fprintf(w, "micro\t%s\t%.2f ns/op\tmissing\t\n", old.Name, old.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(w, "micro\t%s\t%.2f ns/op\t%.2f ns/op\t%s\n",
+			old.Name, old.NsPerOp, now.NsPerOp, delta(old.NsPerOp, now.NsPerOp, true))
+	}
+	for _, m := range cur.Micro {
+		if !seenMicro[m.Name] {
+			fmt.Fprintf(w, "micro\t%s\t—\t%.2f ns/op\tnew\n", m.Name, m.NsPerOp)
+		}
+	}
+
+	w.Flush()
+	return b.String()
 }
 
 // Regression is one comparison finding between two reports.

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -136,8 +137,9 @@ func TestMicroBenchNamesStable(t *testing.T) {
 	// pins them so a rename is a conscious baseline-refreshing change.
 	want := []string{
 		"TupleAppendKey", "RelationGet", "RelationMerge",
-		"RelationMergeTripleSteady", "TripleAddInto", "IndexProbe",
-		"RadixSortKeys", "SnapshotPublish",
+		"RelationMergeTripleSteady", "TripleAddInto",
+		"CofactorAxpy", "Rank1SymUpdate", "ApplyDeltaSteady",
+		"IndexProbe", "RadixSortKeys", "SnapshotPublish",
 	}
 	got := MicroBenches()
 	if len(got) != len(want) {
@@ -172,5 +174,25 @@ func TestBestOfKeepsBestRep(t *testing.T) {
 	// An ok rep beats a faster timed-out one.
 	if got[1].Status != "ok" || got[1].ThroughputTPS != 40 {
 		t.Errorf("DBT-RING kept %v/%s, want 40/ok", got[1].ThroughputTPS, got[1].Status)
+	}
+}
+
+func TestDeltaSummary(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Scenarios[0].ThroughputTPS = 120000 // F-IVM +20%
+	cur.Micro[0].NsPerOp = 30               // RelationGet -25% (better)
+	cur.Micro = append(cur.Micro, MicroResult{Name: "CofactorAxpy", NsPerOp: 150})
+
+	got := DeltaSummary(base, cur)
+	for _, want := range []string{
+		"fig7/F-IVM", "100000 tps", "120000 tps", "+20.0%",
+		"RelationGet", "40.00 ns/op", "30.00 ns/op", "-25.0% (better)",
+		"CofactorAxpy", "new",
+		"timeout", // non-ok baseline rows show status, not tps
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("DeltaSummary missing %q in:\n%s", want, got)
+		}
 	}
 }

@@ -56,7 +56,8 @@ func (e *Entry[P]) Key() string { return e.key }
 type Relation[P any] struct {
 	schema  Schema
 	ring    ring.Ring[P]
-	mut     ring.Mutable[P] // non-nil when the ring supports in-place accumulation
+	mut     ring.Mutable[P]    // non-nil when the ring supports in-place accumulation
+	mutRef  ring.MutableRef[P] // non-nil when the ring additionally takes pointer sources
 	entries entryTable[P]
 	keyBuf  []byte
 	// keyHash is the hash of the key most recently encoded into keyBuf (or
@@ -80,7 +81,7 @@ type Relation[P any] struct {
 
 // NewRelation creates an empty relation over the given ring and schema.
 func NewRelation[P any](r ring.Ring[P], schema Schema) *Relation[P] {
-	return &Relation[P]{schema: schema, ring: r, mut: ring.MutableOf(r)}
+	return &Relation[P]{schema: schema, ring: r, mut: ring.MutableOf(r), mutRef: ring.MutableRefOf(r)}
 }
 
 // owned returns the payload to store for a fresh entry: a deep copy when the
@@ -339,6 +340,37 @@ func (r *Relation[P]) setPayload(e *Entry[P], p P) {
 	e.Payload = p
 }
 
+// isZeroRef reports whether *p is zero, reading through the pointer when the
+// ring supports it (a by-value IsZero copies the payload header — 80 bytes
+// for a cofactor triple — per call).
+func (r *Relation[P]) isZeroRef(p *P) bool {
+	if r.mutRef != nil {
+		return r.mutRef.IsZeroRef(p)
+	}
+	return r.ring.IsZero(*p)
+}
+
+// addIntoEntry accumulates *p into e's payload in place, with a pointer
+// source when the ring supports it. p must point at heap-resident storage
+// (another entry's payload, an owned accumulator field) — see
+// ring.MutableRef. Requires r.mut != nil.
+func (r *Relation[P]) addIntoEntry(e *Entry[P], p *P) {
+	if r.mutRef != nil {
+		r.mutRef.AddIntoRef(&e.Payload, p)
+		return
+	}
+	r.mut.AddInto(&e.Payload, *p)
+}
+
+// setPayloadRef is setPayload for a heap-resident source payload.
+func (r *Relation[P]) setPayloadRef(e *Entry[P], p *P) {
+	if r.mutRef != nil {
+		r.mutRef.CopyIntoRef(&e.Payload, p)
+		return
+	}
+	r.setPayload(e, *p)
+}
+
 // mergeEntry adds p to the payload of tuple t and reports the affected entry
 // together with its presence transition (existed before, exists after), so
 // index maintenance can react to appearance and disappearance.
@@ -347,7 +379,7 @@ func (r *Relation[P]) mergeEntry(t Tuple, p P) (en *Entry[P], existed, exists bo
 		if r.mut != nil {
 			r.touchEntry(e)
 			r.mut.AddInto(&e.Payload, p)
-			if r.ring.IsZero(e.Payload) {
+			if r.isZeroRef(&e.Payload) {
 				r.removeEntry(e)
 				return e, true, false
 			}
@@ -396,7 +428,7 @@ func (r *Relation[P]) MergeProjected(proj Projector, t Tuple, p P) {
 		if r.mut != nil {
 			r.touchEntry(e)
 			r.mut.AddInto(&e.Payload, p)
-			if r.ring.IsZero(e.Payload) {
+			if r.isZeroRef(&e.Payload) {
 				r.removeEntry(e)
 			}
 			return
@@ -429,7 +461,7 @@ func (r *Relation[P]) MergeMul(t Tuple, a, b *P) {
 	if e := r.lookup(t); e != nil {
 		r.touchEntry(e)
 		r.mut.MulAddInto(&e.Payload, a, b)
-		if r.ring.IsZero(e.Payload) {
+		if r.isZeroRef(&e.Payload) {
 			r.removeEntry(e)
 		}
 		return
@@ -437,7 +469,7 @@ func (r *Relation[P]) MergeMul(t Tuple, a, b *P) {
 	key := string(r.keyBuf) // lookup left t's encoding in the scratch buffer
 	e := r.insertEntry(key, t)
 	r.mut.MulInto(&e.Payload, a, b)
-	if r.ring.IsZero(e.Payload) {
+	if r.isZeroRef(&e.Payload) {
 		r.dropFresh(e)
 	}
 }
@@ -466,7 +498,7 @@ func (r *Relation[P]) MergeMulProjected(proj Projector, t Tuple, a, b *P) {
 	if e := r.lookupScratch(); e != nil {
 		r.touchEntry(e)
 		r.mut.MulAddInto(&e.Payload, a, b)
-		if r.ring.IsZero(e.Payload) {
+		if r.isZeroRef(&e.Payload) {
 			r.removeEntry(e)
 		}
 		return
@@ -474,9 +506,41 @@ func (r *Relation[P]) MergeMulProjected(proj Projector, t Tuple, a, b *P) {
 	key := string(r.keyBuf)
 	e := r.insertEntry(key, r.projApply(proj, t))
 	r.mut.MulInto(&e.Payload, a, b)
-	if r.ring.IsZero(e.Payload) {
+	if r.isZeroRef(&e.Payload) {
 		r.dropFresh(e)
 	}
+}
+
+// MergeProjectedKey is MergeProjected for a caller-encoded key: key must be
+// the encoding of proj applied to t (as produced by proj.AppendKey). The
+// fused delta-application path encodes every output key once for sorting and
+// reuses it here, skipping the re-encode MergeProjected would do. The key
+// bytes are copied on insert, never retained. p must point at heap-resident
+// storage (the fuser's owned accumulator qualifies) and is only read.
+func (r *Relation[P]) MergeProjectedKey(key []byte, proj Projector, t Tuple, p *P) {
+	r.keyHash = hashBytes(key)
+	if e := r.entries.getBytes(r.keyHash, key); e != nil {
+		if r.mut != nil {
+			r.touchEntry(e)
+			r.addIntoEntry(e, p)
+			if r.isZeroRef(&e.Payload) {
+				r.removeEntry(e)
+			}
+			return
+		}
+		s := r.ring.Add(e.Payload, *p)
+		if r.ring.IsZero(s) {
+			r.removeEntry(e)
+			return
+		}
+		r.markEntry(e)
+		e.Payload = s
+		return
+	}
+	if r.isZeroRef(p) {
+		return
+	}
+	r.setPayloadRef(r.insertEntry(string(key), r.projApply(proj, t)), p)
 }
 
 // MergeKey is Merge for a pre-encoded key.
@@ -485,7 +549,7 @@ func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
 		if r.mut != nil {
 			r.touchEntry(e)
 			r.mut.AddInto(&e.Payload, p)
-			if r.ring.IsZero(e.Payload) {
+			if r.isZeroRef(&e.Payload) {
 				r.removeEntry(e)
 			}
 			return
@@ -504,9 +568,35 @@ func (r *Relation[P]) MergeKey(key string, t Tuple, p P) {
 	}
 }
 
+// mergeKeyRef is MergeKey for a heap-resident source payload: the source is
+// read through its pointer, so wide payloads are never copied at the
+// interface boundary. Requires r.mut != nil.
+func (r *Relation[P]) mergeKeyRef(key string, t Tuple, p *P) {
+	if e := r.lookupString(key); e != nil {
+		r.touchEntry(e)
+		r.addIntoEntry(e, p)
+		if r.isZeroRef(&e.Payload) {
+			r.removeEntry(e)
+		}
+		return
+	}
+	if !r.isZeroRef(p) {
+		r.setPayloadRef(r.insertEntry(key, t), p)
+	}
+}
+
 // MergeAll merges every entry of o into r: r := r ⊎ o. The relations must
-// share a schema (same variables in the same order).
+// share a schema (same variables in the same order). Source payloads are
+// entry-resident, so rings with pointer-source accumulation merge them
+// without copying.
 func (r *Relation[P]) MergeAll(o *Relation[P]) {
+	if r.mut != nil {
+		o.entries.all(func(e *Entry[P]) bool {
+			r.mergeKeyRef(e.key, e.Tuple, &e.Payload)
+			return true
+		})
+		return
+	}
 	o.entries.all(func(e *Entry[P]) bool {
 		r.MergeKey(e.key, e.Tuple, e.Payload)
 		return true
@@ -554,12 +644,16 @@ func (r *Relation[P]) SortedEntries() []Entry[P] {
 // in-place accumulation, so later merges into either relation never bleed
 // into the other.
 func (r *Relation[P]) Clone() *Relation[P] {
-	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut}
+	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut, mutRef: r.mutRef}
 	out.entries.reserve(r.entries.len())
 	r.entries.all(func(e *Entry[P]) bool {
 		c := *e
 		c.gen = 0
-		if r.mut != nil {
+		if r.mutRef != nil {
+			var o P
+			r.mutRef.CopyIntoRef(&o, &e.Payload)
+			c.Payload = o
+		} else if r.mut != nil {
 			var o P
 			r.mut.CopyInto(&o, e.Payload)
 			c.Payload = o
@@ -574,7 +668,7 @@ func (r *Relation[P]) Clone() *Relation[P] {
 // of its payload. A deletion of the tuples of r is expressed as merging
 // r.Negate().
 func (r *Relation[P]) Negate() *Relation[P] {
-	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut}
+	out := &Relation[P]{schema: r.schema, ring: r.ring, mut: r.mut, mutRef: r.mutRef}
 	out.entries.reserve(r.entries.len())
 	r.entries.all(func(e *Entry[P]) bool {
 		out.adopt(&Entry[P]{key: e.key, hash: e.hash, Tuple: e.Tuple, Payload: r.ring.Neg(e.Payload)})

@@ -2,6 +2,7 @@ package ivm
 
 import (
 	"fmt"
+	"time"
 
 	"fivm/internal/data"
 	"fivm/internal/viewtree"
@@ -55,6 +56,13 @@ type planStep[P any] struct {
 	margProj  data.Projector
 	liftCache map[string]*P
 	liftKey   []byte
+	liftFn    func(t data.Tuple) *P
+
+	// fuse holds the sorted-run accumulation state: marginalizing steps whose
+	// work items mostly collapse onto few output keys are executed by sorting
+	// the items by output key and merging one accumulated payload per run
+	// instead of one per item; see runFuser.
+	fuse runFuser[P]
 
 	// allFullSibs marks steps whose every sibling is probed by full key, so
 	// work items keep their (relation-stored, immutable) input tuples and
@@ -281,6 +289,20 @@ func (st *planStep[P]) exec(e *Engine[P], delta *data.Relation[P]) *data.Relatio
 		st.out.Clear()
 	}
 	out := st.out
+	timed := len(st.margVars) > 0 && e.opts.PayloadTransform == nil && st.fuse.eligible(st.prods.mut, len(items))
+	var start time.Time
+	if timed {
+		start = time.Now()
+		if st.fuse.chooseFused() {
+			if st.liftFn == nil {
+				st.liftFn = func(t data.Tuple) *P { return st.liftProduct(e, t) }
+			}
+			distinct := st.fuse.run(st.prods.mut, items, st.outProj, out, st.liftFn)
+			st.fuse.noteCost(true, len(items), time.Since(start))
+			st.fuse.note(len(items), distinct)
+			return out
+		}
+	}
 	for _, it := range items {
 		// Multiply the liftings together first: lift values are small ring
 		// elements, while the accumulated payload can be large (a wide
@@ -289,19 +311,7 @@ func (st *planStep[P]) exec(e *Engine[P], delta *data.Relation[P]) *data.Relatio
 		// in-place accumulation, directly inside the output's stored payload
 		// via the fused multiply-merge (zero allocations on existing keys).
 		if len(st.margVars) > 0 {
-			st.liftKey = st.margProj.AppendKey(st.liftKey[:0], it.t)
-			lp, ok := st.liftCache[string(st.liftKey)]
-			if !ok {
-				v := e.lift(st.margVars[0].name, it.t[st.margVars[0].idx])
-				for _, mv := range st.margVars[1:] {
-					v = e.ring.Mul(v, e.lift(mv.name, it.t[mv.idx]))
-				}
-				lp = &v
-				if len(st.liftCache) >= liftCacheMax {
-					clear(st.liftCache)
-				}
-				st.liftCache[string(st.liftKey)] = lp
-			}
+			lp := st.liftProduct(e, it.t)
 			if e.opts.PayloadTransform != nil {
 				out.MergeProjected(st.outProj, it.t, e.opts.PayloadTransform(st.node, e.ring.Mul(*it.p, *lp)))
 			} else {
@@ -315,5 +325,33 @@ func (st *planStep[P]) exec(e *Engine[P], delta *data.Relation[P]) *data.Relatio
 		}
 		out.MergeProjected(st.outProj, it.t, p)
 	}
+	if timed {
+		st.fuse.noteCost(false, len(items), time.Since(start))
+	}
+	if len(st.margVars) > 0 {
+		st.fuse.note(len(items), out.Len())
+	}
 	return out
+}
+
+// liftProduct returns the product of the step's lifting functions applied to
+// the marginalized values of t, memoized in the step's lift-product cache
+// (lifting functions are pure, and marginalized variables range over small
+// domains). The returned pointer is read-only and valid until the cache is
+// reset.
+func (st *planStep[P]) liftProduct(e *Engine[P], t data.Tuple) *P {
+	st.liftKey = st.margProj.AppendKey(st.liftKey[:0], t)
+	lp, ok := st.liftCache[string(st.liftKey)]
+	if !ok {
+		v := e.lift(st.margVars[0].name, t[st.margVars[0].idx])
+		for _, mv := range st.margVars[1:] {
+			v = e.ring.Mul(v, e.lift(mv.name, t[mv.idx]))
+		}
+		lp = &v
+		if len(st.liftCache) >= liftCacheMax {
+			clear(st.liftCache)
+		}
+		st.liftCache[string(st.liftKey)] = lp
+	}
+	return lp
 }

@@ -245,6 +245,9 @@ func sameVars(a, b []int32) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	if len(a) > 0 && &a[0] == &b[0] {
+		return true
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			return false

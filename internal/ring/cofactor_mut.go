@@ -60,12 +60,40 @@ func (a *Triple) AddInto(b *Triple) {
 		return
 	}
 	if sameVars(a.Vars, b.Vars) {
-		for i, v := range b.S {
-			a.S[i] += v
+		// Tiny triples: the kernel call costs more than it saves, so widths
+		// up to 3 get straight-line inline adds (no loops, no bounds checks).
+		if k := len(b.Vars); k <= 3 {
+			as, bs := a.S[:k], b.S[:k]
+			aq, bq := a.Q[:k*k], b.Q[:k*k]
+			switch k {
+			case 1:
+				as[0] += bs[0]
+				aq[0] += bq[0]
+			case 2:
+				as[0] += bs[0]
+				as[1] += bs[1]
+				aq[0] += bq[0]
+				aq[1] += bq[1]
+				aq[2] += bq[2]
+				aq[3] += bq[3]
+			case 3:
+				as[0] += bs[0]
+				as[1] += bs[1]
+				as[2] += bs[2]
+				aq[0] += bq[0]
+				aq[1] += bq[1]
+				aq[2] += bq[2]
+				aq[3] += bq[3]
+				aq[4] += bq[4]
+				aq[5] += bq[5]
+				aq[6] += bq[6]
+				aq[7] += bq[7]
+				aq[8] += bq[8]
+			}
+			return
 		}
-		for i, v := range b.Q {
-			a.Q[i] += v
-		}
+		addTo(a.S, b.S)
+		addTo(a.Q, b.Q)
 		return
 	}
 	a.ensureVars(b.Vars, nil)
@@ -100,7 +128,8 @@ func (d *Triple) MulAddInto(a, b *Triple) {
 		d.scaleScatterAdd(a, b.C)
 		d.scaleScatterAdd(b, a.C)
 		// Outer products sa sbᵀ + sb saᵀ in d's variable space. Operands
-		// covering exactly d's variables use identity positions (no lookups).
+		// covering exactly d's variables use identity positions (no lookups)
+		// and the half+mirror symmetric kernel.
 		k := len(d.Vars)
 		var bufA, bufB [scatterBufLen]int
 		var ia, ib []int
@@ -110,27 +139,7 @@ func (d *Triple) MulAddInto(a, b *Triple) {
 		if !sameVars(d.Vars, b.Vars) {
 			ib = varPositions(d.Vars, b.Vars, bufB[:0])
 		}
-		for i, si := range a.S {
-			if si == 0 {
-				continue
-			}
-			ri := i
-			if ia != nil {
-				ri = ia[i]
-			}
-			for j, sj := range b.S {
-				if sj == 0 {
-					continue
-				}
-				rj := j
-				if ib != nil {
-					rj = ib[j]
-				}
-				p := si * sj
-				d.Q[ri*k+rj] += p
-				d.Q[rj*k+ri] += p
-			}
-		}
+		rank1ScatterUpdate(d.Q, a.S, b.S, ia, ib, k)
 	}
 }
 
@@ -152,15 +161,47 @@ func (Cofactor) CopyInto(dst *Triple, src Triple) { dst.CopyFrom(&src) }
 // IsOne reports whether *a is the multiplicative identity (1, 0, 0).
 func (Cofactor) IsOne(a *Triple) bool { return a.C == 1 && len(a.Vars) == 0 }
 
+// AddIntoRef accumulates *src into *dst: the pointer-source form of AddInto
+// (MutableRef), skipping the 80-byte header copy at the interface boundary.
+func (Cofactor) AddIntoRef(dst, src *Triple) { dst.AddInto(src) }
+
+// CopyIntoRef sets *dst to a deep copy of *src.
+func (Cofactor) CopyIntoRef(dst, src *Triple) { dst.CopyFrom(src) }
+
+// IsZeroRef reports whether *a is the zero triple (see IsZero).
+func (Cofactor) IsZeroRef(a *Triple) bool {
+	if a.C != 0 {
+		return false
+	}
+	for _, v := range a.S {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, v := range a.Q {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // scatterBufLen bounds the stack-allocated position buffers; triples wider
 // than this fall back to a heap-allocated index slice.
 const scatterBufLen = 48
 
 // varPositions appends, for each variable of sub, its position in vars
-// (which must cover sub) to buf and returns the extended slice.
+// (which must cover sub) to buf and returns the extended slice. Both lists
+// are sorted, so a single merge scan finds every position in one pass over
+// vars instead of a binary search per variable.
 func varPositions(vars, sub []int32, buf []int) []int {
+	i := 0
 	for _, v := range sub {
-		buf = append(buf, findVar(vars, v))
+		for vars[i] != v {
+			i++
+		}
+		buf = append(buf, i)
+		i++
 	}
 	return buf
 }
@@ -259,24 +300,21 @@ func (d *Triple) ensureVars(av, bv []int32) {
 // grown to its view's coverage — take a dense position-free path.
 func (d *Triple) scaleScatterAdd(src *Triple, scale float64) {
 	if sameVars(d.Vars, src.Vars) {
-		for i, v := range src.S {
-			d.S[i] += scale * v
+		if scale == 1 {
+			addTo(d.S, src.S)
+			addTo(d.Q, src.Q)
+			return
 		}
-		for i, v := range src.Q {
-			d.Q[i] += scale * v
-		}
+		axpy(d.S, src.S, scale)
+		axpy(d.Q, src.Q, scale)
 		return
 	}
 	k := len(d.Vars)
-	ks := len(src.Vars)
 	var buf [scatterBufLen]int
 	idx := varPositions(d.Vars, src.Vars, buf[:0])
-	for i := 0; i < ks; i++ {
-		d.S[idx[i]] += scale * src.S[i]
-		row := idx[i] * k
-		srow := src.Q[i*ks : (i+1)*ks]
-		for j := 0; j < ks; j++ {
-			d.Q[row+idx[j]] += scale * srow[j]
-		}
+	if scale == 1 {
+		scatterAxpy(d.S, d.Q, src.S, src.Q, idx, k)
+		return
 	}
+	scatterAxpyScale(d.S, d.Q, src.S, src.Q, idx, k, scale)
 }

@@ -1,0 +1,30 @@
+//go:build purego
+
+package ring
+
+// Under the purego build tag the scalar reference kernels are the production
+// kernels: the simplest possible loops, no unrolling, no hoisting. This build
+// is CI's guarantee that the reference path cannot rot, and the baseline the
+// property tests diff the optimized kernels against.
+
+// pureGoKernels reports which kernel set this binary runs.
+const pureGoKernels = true
+
+func addTo(dst, src []float64)               { addToRef(dst, src) }
+func axpy(dst, src []float64, scale float64) { axpyRef(dst, src, scale) }
+
+func scatterAxpy(dstS, dstQ, srcS, srcQ []float64, idx []int, k int) {
+	scatterAxpyRef(dstS, dstQ, srcS, srcQ, idx, k)
+}
+
+func scatterAxpyScale(dstS, dstQ, srcS, srcQ []float64, idx []int, k int, scale float64) {
+	scatterAxpyScaleRef(dstS, dstQ, srcS, srcQ, idx, k, scale)
+}
+
+func rank1SymUpdate(q, sa, sb []float64, k int) {
+	rank1SymUpdateRef(q, sa, sb, k)
+}
+
+func rank1ScatterUpdate(q, sa, sb []float64, ia, ib []int, k int) {
+	rank1ScatterUpdateRef(q, sa, sb, ia, ib, k)
+}

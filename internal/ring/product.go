@@ -143,6 +143,60 @@ func (r Product[A, B]) IsOne(a *PairVal[A, B]) bool {
 	return ma != nil && mb != nil && ma.IsOne(&a.A) && mb.IsOne(&a.B)
 }
 
+// AddIntoRef accumulates component-wise with pointer sources, preferring each
+// component's MutableRef, then Mutable, then immutable Add.
+func (r Product[A, B]) AddIntoRef(dst, src *PairVal[A, B]) {
+	if ra := MutableRefOf(r.RA); ra != nil {
+		ra.AddIntoRef(&dst.A, &src.A)
+	} else if ma := r.mutA(); ma != nil {
+		ma.AddInto(&dst.A, src.A)
+	} else {
+		dst.A = r.RA.Add(dst.A, src.A)
+	}
+	if rb := MutableRefOf(r.RB); rb != nil {
+		rb.AddIntoRef(&dst.B, &src.B)
+	} else if mb := r.mutB(); mb != nil {
+		mb.AddInto(&dst.B, src.B)
+	} else {
+		dst.B = r.RB.Add(dst.B, src.B)
+	}
+}
+
+// CopyIntoRef sets *dst = *src component-wise, deep-copying components whose
+// rings support it (see CopyInto for why sharing immutable components is safe).
+func (r Product[A, B]) CopyIntoRef(dst, src *PairVal[A, B]) {
+	if ra := MutableRefOf(r.RA); ra != nil {
+		ra.CopyIntoRef(&dst.A, &src.A)
+	} else if ma := r.mutA(); ma != nil {
+		ma.CopyInto(&dst.A, src.A)
+	} else {
+		dst.A = src.A
+	}
+	if rb := MutableRefOf(r.RB); rb != nil {
+		rb.CopyIntoRef(&dst.B, &src.B)
+	} else if mb := r.mutB(); mb != nil {
+		mb.CopyInto(&dst.B, src.B)
+	} else {
+		dst.B = src.B
+	}
+}
+
+// IsZeroRef reports whether both components are zero, reading through the
+// pointer to avoid copying wide payloads.
+func (r Product[A, B]) IsZeroRef(p *PairVal[A, B]) bool {
+	if ra := MutableRefOf(r.RA); ra != nil {
+		if !ra.IsZeroRef(&p.A) {
+			return false
+		}
+	} else if !r.RA.IsZero(p.A) {
+		return false
+	}
+	if rb := MutableRefOf(r.RB); rb != nil {
+		return rb.IsZeroRef(&p.B)
+	}
+	return r.RB.IsZero(p.B)
+}
+
 // Bytes sums the component footprints when both rings are Sized.
 func (r Product[A, B]) Bytes(a PairVal[A, B]) int {
 	n := 16

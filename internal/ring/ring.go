@@ -88,6 +88,31 @@ func MutableOf[T any](r Ring[T]) Mutable[T] {
 	return m
 }
 
+// MutableRef is an optional refinement of Mutable for rings with wide
+// payloads: the same operations with source operands passed by pointer,
+// skipping the by-value copy at the interface boundary (an 80-byte header
+// copy per call for cofactor triples). Sources are only read.
+//
+// Callers must only pass sources that are already heap-resident — another
+// relation entry's stored payload, an owned accumulator field — because
+// taking the address of a local variable for one of these calls forces it to
+// escape, which is exactly the per-merge allocation Mutable's by-value forms
+// exist to avoid.
+type MutableRef[T any] interface {
+	// AddIntoRef accumulates *src into *dst in place: *dst += *src.
+	AddIntoRef(dst, src *T)
+	// CopyIntoRef sets *dst to a deep copy of *src, reusing dst's storage.
+	CopyIntoRef(dst, src *T)
+	// IsZeroRef reports whether *p is the additive identity.
+	IsZeroRef(p *T) bool
+}
+
+// MutableRefOf returns the ring's pointer-source extension, or nil.
+func MutableRefOf[T any](r Ring[T]) MutableRef[T] {
+	m, _ := r.(MutableRef[T])
+	return m
+}
+
 // Sub returns a - b, a convenience over Add and Neg.
 func Sub[T any](r Ring[T], a, b T) T { return r.Add(a, r.Neg(b)) }
 
