@@ -51,6 +51,13 @@ Experiments (paper artifact each regenerates):
                       .checkpoint, recovered on restart)
   multiview           shared-ingest DB vs N separate engines over one
                       stream (-views N concurrent views)
+  serve               HTTP server over a DB: lookups, scans, one-shot
+                      SELECT, DDL, backpressured writes (-listen); with
+                      -wal-dir + -replication-listen it is a replication
+                      primary shipping WAL records to followers
+  follow              read replica: streams a primary's WAL
+                      (-primary host:port), serves read-only HTTP
+                      (-listen); -wal-dir makes it durable across restarts
   bench               continuous-benchmark suite: fig7/fig13/mixed/fig7wal/
                       multiview at CI scale plus hot-path microbenchmarks, as
                       machine-readable JSON (-o, default BENCH_6.json) for
@@ -86,6 +93,11 @@ func main() {
 	walDir := fs.String("wal-dir", "", "enable durability: segmented WAL and checkpoints in this directory, recovered on start (repl); parent dir for the fig7wal scenario's WAL (bench)")
 	fsyncName := fs.String("fsync", "never", "WAL fsync policy: always, interval, or never")
 	ckptEvery := fs.Uint64("checkpoint-every", 0, "write an automatic checkpoint every N applied batches (repl; 0 = manual .checkpoint only)")
+	listen := fs.String("listen", "127.0.0.1:8080", "HTTP listen address (serve, follow)")
+	replListen := fs.String("replication-listen", "", "replication listener address for followers (serve; requires -wal-dir)")
+	primaryAddr := fs.String("primary", "", "primary's replication address to stream from (follow)")
+	catalogSpec := fs.String("catalog", "", `base relations as "R(A,B);S(A,C)" (serve, follow); default: the -dataset's catalog`)
+	queueDepth := fs.Int("queue-depth", 256, "bounded ingest queue depth; a full queue returns 429 (serve)")
 	fs.Parse(os.Args[2:])
 	flagSet := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
@@ -207,6 +219,33 @@ func main() {
 	case "repl":
 		ds := pickDataset(*dataset, retailer, housing, twitter)
 		if err := repl(ds, os.Stdin, os.Stdout, *batch, *workers, durability); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "serve", "follow":
+		cat := db.Catalog{}
+		if *catalogSpec != "" {
+			if cat, err = parseCatalog(*catalogSpec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		} else {
+			ds := pickDataset(*dataset, retailer, housing, twitter)
+			for _, rd := range ds.Query.Rels {
+				cat[rd.Name] = rd.Schema
+			}
+		}
+		var err error
+		if cmd == "serve" {
+			err = serveCmd(*listen, *replListen, cat, durability, *queueDepth)
+		} else {
+			if *primaryAddr == "" {
+				fmt.Fprintln(os.Stderr, "follow: -primary host:port is required")
+				os.Exit(2)
+			}
+			err = followCmd(*primaryAddr, *listen, cat, durability)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -4,8 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"fivm/internal/data"
@@ -28,6 +32,36 @@ func repl(ds *datasets.Dataset, in io.Reader, out io.Writer, batchSize, workers 
 		return err
 	}
 	defer d.Close()
+
+	// Ctrl-C (or SIGTERM) must not lose the WAL tail buffered under
+	// fsync=interval/never: the session always exits through d.Close (final
+	// sync included). The busy/stopped pair decides who closes: a signal at
+	// the idle prompt lets the handler close directly; mid-operation it only
+	// requests a stop, and the loop exits through the deferred Close once
+	// the operation finishes. Every return path holds `busy`, so the two
+	// sides can never close concurrently.
+	var busy, stopped atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() { signal.Stop(sigc); close(sigc) }()
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		stopped.Store(true)
+		if busy.CompareAndSwap(false, true) {
+			fmt.Fprintln(out, "\ninterrupt: syncing WAL and closing")
+			d.Close()
+			os.Exit(130)
+		}
+	}()
+	// acquire claims the DB for one operation; if the signal handler won the
+	// race it is already closing and exiting, so just wait for the exit.
+	acquire := func() {
+		if !busy.CompareAndSwap(false, true) {
+			select {}
+		}
+	}
 
 	stream := datasets.RoundRobinStream(ds, ds.Query.RelNames(), batchSize)
 	// A recovered session resumes the deterministic stream where the logged
@@ -66,9 +100,12 @@ func repl(ds *datasets.Dataset, in io.Reader, out io.Writer, batchSize, workers 
 			prompt()
 			continue
 		case strings.HasPrefix(line, ".") && pending.Len() == 0:
-			if quit := replCommand(d, out, line, stream, &at); quit {
-				return nil
+			acquire()
+			quit := replCommand(d, out, line, stream, &at, &stopped)
+			if quit || stopped.Load() {
+				return nil // busy stays held: the deferred Close owns the DB
 			}
+			busy.Store(false)
 			prompt()
 			continue
 		}
@@ -81,10 +118,16 @@ func repl(ds *datasets.Dataset, in io.Reader, out io.Writer, batchSize, workers 
 		sql := strings.TrimSpace(pending.String())
 		pending.Reset()
 		if sql != "" {
+			acquire()
 			replSQL(d, out, sql, vopts, &tempViews)
+			if stopped.Load() {
+				return nil
+			}
+			busy.Store(false)
 		}
 		prompt()
 	}
+	acquire() // hold the DB so the deferred Close cannot race the handler
 	return sc.Err()
 }
 
@@ -126,8 +169,9 @@ func replSQL(d *db.DB, out io.Writer, sql string, vopts db.ViewOptions, tempView
 	}
 }
 
-// replCommand handles one dot-command; it reports whether to quit.
-func replCommand(d *db.DB, out io.Writer, line string, stream []datasets.Batch, at *int) bool {
+// replCommand handles one dot-command; it reports whether to quit. stop is
+// polled between .play batches so an interrupt lands between whole batches.
+func replCommand(d *db.DB, out io.Writer, line string, stream []datasets.Batch, at *int, stop *atomic.Bool) bool {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case ".quit", ".exit":
@@ -150,6 +194,10 @@ func replCommand(d *db.DB, out io.Writer, line string, stream []datasets.Batch, 
 		tuples := 0
 		start := time.Now()
 		for i := 0; i < n && *at < len(stream); i++ {
+			if stop.Load() {
+				fmt.Fprintln(out, "interrupted")
+				break
+			}
 			b := stream[*at]
 			*at++
 			tuples += len(b.Tuples)

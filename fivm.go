@@ -47,8 +47,10 @@ import (
 	"fivm/internal/ivm"
 	"fivm/internal/matrix"
 	"fivm/internal/mcm"
+	"fivm/internal/netserve"
 	"fivm/internal/query"
 	"fivm/internal/regression"
+	"fivm/internal/replica"
 	"fivm/internal/ring"
 	"fivm/internal/serve"
 	"fivm/internal/sqlparse"
@@ -476,6 +478,67 @@ var (
 	NewMemWALFS   = wal.NewMemFS
 	NewFaultWALFS = wal.NewFaultFS
 )
+
+// --- network serving & replication --------------------------------------------
+
+// ApplyQueue is the bounded single-consumer ingest queue in front of a DB's
+// maintenance goroutine: TryApply fails fast with ErrQueueFull when the
+// queue is full (the HTTP layer maps it to 429 + Retry-After), Apply blocks,
+// and Do runs an arbitrary function on the maintenance goroutine (DDL).
+type ApplyQueue = db.ApplyQueue
+
+// NewApplyQueue starts a queue of the given depth over the DB; Close drains
+// and stops it.
+var NewApplyQueue = db.NewApplyQueue
+
+// Queue and follower sentinel errors.
+var (
+	// ErrQueueFull is TryApply's backpressure signal.
+	ErrQueueFull = db.ErrQueueFull
+	// ErrQueueClosed reports an enqueue after Close.
+	ErrQueueClosed = db.ErrQueueClosed
+	// ErrFollower rejects direct writes on a follower-mode DB — its state
+	// advances only through the replication stream.
+	ErrFollower = db.ErrFollower
+)
+
+// ServeConfig configures the stdlib HTTP server over a DB: point lookups,
+// prefix scans, one-shot SELECT, DDL, batch ingest with backpressure, and
+// epoch/staleness headers (X-Fivm-Epoch, X-Fivm-Applied, X-Fivm-Lag) on
+// every response. A nil Queue makes the server read-only (followers).
+type ServeConfig = netserve.Config
+
+// HTTPServer is the serving front end; Serve on a listener, Shutdown for
+// graceful drain.
+type HTTPServer = netserve.Server
+
+// NewHTTPServer builds the server. The DB field is a func so followers can
+// swap instances after a checkpoint re-bootstrap.
+var NewHTTPServer = netserve.New
+
+// ReplicationPrimary streams a durable DB's WAL frames verbatim to
+// follower connections: catchup-from-LSN handshake, live tail fan-out, and
+// checkpoint transfer when the requested position was pruned.
+type ReplicationPrimary = replica.Primary
+
+// NewReplicationPrimary builds a primary over a durable DB and a listener;
+// Serve accepts followers until Close.
+var NewReplicationPrimary = replica.NewPrimary
+
+// ReplicationFollower maintains a follower-mode DB from a primary's stream:
+// it applies shipped records through the normal apply/DDL paths, publishes
+// the same epoch sequence, reconnects with backoff, resumes from its last
+// LSN, and re-bootstraps from a transferred checkpoint when behind a prune.
+type ReplicationFollower = replica.Follower
+
+// FollowerOptions configures NewReplicationFollower: primary address,
+// catalog, and (for durable followers that survive restarts) a WAL
+// directory.
+type FollowerOptions = replica.FollowerConfig
+
+// NewReplicationFollower opens the follower DB; Run drives the stream until
+// the context ends, DB returns the current instance for serving reads.
+var NewReplicationFollower = replica.NewFollower
 
 // --- applications -------------------------------------------------------------
 

@@ -55,7 +55,13 @@ type ScenarioResult struct {
 	// ReaderOpsPerSec is the aggregate snapshot-reader throughput of mixed
 	// runs (zero elsewhere).
 	ReaderOpsPerSec float64 `json:"reader_ops_per_sec,omitempty"`
-	Status          string  `json:"status"`
+	// StalenessP50Ns / StalenessP99Ns are replication-lag percentiles of the
+	// serve scenario's follower: the delay between the primary publishing an
+	// applied count and the follower publishing the same one (zero
+	// elsewhere).
+	StalenessP50Ns int64  `json:"staleness_p50_ns,omitempty"`
+	StalenessP99Ns int64  `json:"staleness_p99_ns,omitempty"`
+	Status         string `json:"status"`
 }
 
 // MicroResult is one hot-path microbenchmark measurement (see micro.go).
@@ -176,6 +182,18 @@ func DeltaSummary(base, cur *Report) string {
 	return b.String()
 }
 
+// readersStarved reports whether a scenario row that was configured with
+// concurrent readers recorded essentially no reader progress: aggregate
+// reader ops/s below 1% of the write throughput, when the read path is a
+// busy loop that normally sustains orders of magnitude more. On small hosts
+// (CI runs on 1-2 CPUs) the scheduler sometimes never runs the readers
+// before a short stream drains; such a rep measures write-only throughput,
+// not the mixed workload, and its (inflated) number is only comparable to
+// another run that starved the same way.
+func readersStarved(r ScenarioResult) bool {
+	return r.Readers > 0 && r.ReaderOpsPerSec < r.ThroughputTPS/100
+}
+
 // Regression is one comparison finding between two reports.
 type Regression struct {
 	Kind   string // "scenario" or "micro"
@@ -204,7 +222,10 @@ func (r Regression) String() string {
 // it shares the ns/op noise threshold rather than the exact-match rule.
 // Entries present only in cur (new benchmarks) are fine; entries present
 // only in base are reported as missing. Timed-out or errored baseline
-// scenarios are skipped: their throughput is not a meaningful bar.
+// scenarios are skipped: their throughput is not a meaningful bar. A
+// reader-configured scenario where exactly one of the two runs starved its
+// readers (see readersStarved) is likewise skipped — the two numbers
+// measure different workloads, so neither bounds the other.
 func Compare(base, cur *Report, threshold float64) []Regression {
 	var regs []Regression
 
@@ -225,6 +246,9 @@ func Compare(base, cur *Report, threshold float64) []Regression {
 		if now.Status != "ok" {
 			regs = append(regs, Regression{Kind: "scenario", Name: key, Metric: "throughput_tps",
 				Old: old.ThroughputTPS, New: 0, Ratio: 0})
+			continue
+		}
+		if readersStarved(old) != readersStarved(now) {
 			continue
 		}
 		if now.ThroughputTPS < old.ThroughputTPS*(1-threshold) {

@@ -177,6 +177,46 @@ func TestBestOfKeepsBestRep(t *testing.T) {
 	}
 }
 
+func TestCompareSkipsStarvationMismatch(t *testing.T) {
+	mixed := func(tput, readerOps float64) ScenarioResult {
+		return ScenarioResult{Scenario: "mixed", Case: "DBT-RING", Readers: 2,
+			ThroughputTPS: tput, ReaderOpsPerSec: readerOps, Status: "ok"}
+	}
+	base, cur := NewReport(), NewReport()
+	// Baseline rep starved its readers (inflated write-only throughput);
+	// the current run served reads — different workloads, no comparison.
+	base.Scenarios = []ScenarioResult{mixed(100000, 100)}
+	cur.Scenarios = []ScenarioResult{mixed(30000, 20e6)}
+	if regs := Compare(base, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("starvation mismatch used as a bar: %v", regs)
+	}
+	// Both starved: the numbers measure the same condition, so a real drop
+	// still fires.
+	cur.Scenarios = []ScenarioResult{mixed(30000, 100)}
+	if regs := Compare(base, cur, 0.10); len(regs) != 1 {
+		t.Fatalf("both-starved drop not flagged: %v", regs)
+	}
+	// Neither starved: ordinary comparison.
+	base.Scenarios = []ScenarioResult{mixed(100000, 30e6)}
+	cur.Scenarios = []ScenarioResult{mixed(30000, 20e6)}
+	if regs := Compare(base, cur, 0.10); len(regs) != 1 {
+		t.Fatalf("healthy drop not flagged: %v", regs)
+	}
+}
+
+func TestBestOfPrefersUnstarvedRep(t *testing.T) {
+	mk := func(tput, readerOps float64) ScenarioResult {
+		return ScenarioResult{Scenario: "mixed", Case: "DBT-RING", Readers: 2,
+			ThroughputTPS: tput, ReaderOpsPerSec: readerOps, Status: "ok"}
+	}
+	// The starved rep's 100k is write-only throughput; the 30k rep is the
+	// real mixed measurement and must win despite the lower number.
+	got := bestOf([][]ScenarioResult{{mk(100000, 50)}, {mk(30000, 20e6)}, {mk(25000, 18e6)}})
+	if len(got) != 1 || got[0].ThroughputTPS != 30000 {
+		t.Fatalf("kept %+v, want the 30000 tps unstarved rep", got)
+	}
+}
+
 func TestDeltaSummary(t *testing.T) {
 	base := sampleReport()
 	cur := sampleReport()

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"fivm/internal/datasets"
+)
+
+// TestServeBenchRows runs the serve scenario at tiny scale and checks the
+// report rows: all four cases present, ok, with positive throughput, and a
+// measured staleness distribution.
+func TestServeBenchRows(t *testing.T) {
+	rows := ServeBench(ServeBenchConfig{
+		Retailer:   datasets.RetailerConfig{Locations: 3, Dates: 6, Items: 12, ItemsPerLocDate: 3, Seed: 7},
+		BatchSize:  50,
+		Readers:    2,
+		ReadWindow: 50 * time.Millisecond,
+	})
+	want := map[string]bool{"ingest": false, "http-lookup": false, "http-scan": false, "follower-staleness": false}
+	for _, r := range rows {
+		if r.Scenario != "serve" {
+			t.Fatalf("scenario = %q, want serve", r.Scenario)
+		}
+		if _, ok := want[r.Case]; !ok {
+			t.Fatalf("unexpected case %q", r.Case)
+		}
+		want[r.Case] = true
+		if r.Status != "ok" {
+			t.Fatalf("case %s status = %q", r.Case, r.Status)
+		}
+		if r.ThroughputTPS <= 0 {
+			t.Fatalf("case %s throughput = %v, want > 0", r.Case, r.ThroughputTPS)
+		}
+		if r.Tuples <= 0 {
+			t.Fatalf("case %s tuples = %d, want > 0", r.Case, r.Tuples)
+		}
+	}
+	for c, seen := range want {
+		if !seen {
+			t.Fatalf("missing case %q", c)
+		}
+	}
+	for _, r := range rows {
+		if r.Case == "follower-staleness" && r.StalenessP99Ns <= 0 {
+			t.Fatalf("staleness p99 = %d, want > 0", r.StalenessP99Ns)
+		}
+	}
+}

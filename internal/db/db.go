@@ -54,6 +54,16 @@ type Options struct {
 	// logged before they advance any in-memory state, SQL views persist in
 	// the catalog, and Open recovers checkpoint + tail from the directory.
 	Durability *DurabilityOptions
+	// Follower opens the DB in replica mode: direct Apply / CreateView /
+	// DropView / Exec are rejected, and state advances only through
+	// ApplyReplicated with records shipped from a primary's WAL. A durable
+	// follower re-logs each record to its own WAL under the primary's LSN
+	// sequence, so restart resumes from the local log.
+	Follower bool
+	// Bootstrap seeds an in-memory follower from a transferred primary
+	// checkpoint (Durability must be nil; durable followers materialize the
+	// shipped checkpoint file into their WAL directory instead).
+	Bootstrap *wal.Checkpoint
 }
 
 // Update is one element of an applied batch: tuples of a base relation with
@@ -116,6 +126,13 @@ type DB struct {
 	// Close tears views down (they must survive restart).
 	recovering bool
 	closing    bool
+
+	// Follower-mode state: replicating lifts the read-only guard while
+	// ApplyReplicated drives a shipped record through the normal write paths
+	// (maintenance goroutine only); replLSN is the last replicated LSN,
+	// readable from any goroutine (the replication handshake reports it).
+	replicating bool
+	replLSN     atomic.Uint64
 }
 
 // registeredView is the ring-erased handle the DB keeps per view; the typed
@@ -188,6 +205,24 @@ func Open(cat Catalog, opts Options) (*DB, error) {
 			_ = log.Close()
 			return nil, err
 		}
+	}
+	if opts.Follower {
+		if opts.Bootstrap != nil {
+			if opts.Durability != nil {
+				return nil, fmt.Errorf("db: Bootstrap is for in-memory followers; durable followers recover from their WAL directory")
+			}
+			if err := d.recoverFrom(&wal.Recovery{Checkpoint: opts.Bootstrap}); err != nil {
+				return nil, err
+			}
+			d.replLSN.Store(opts.Bootstrap.LSN)
+		} else if d.log != nil {
+			// A restarted durable follower resumes at its local log position;
+			// local LSNs mirror the primary's (each shipped record is re-logged
+			// under the same sequence).
+			d.replLSN.Store(d.log.LSN())
+		}
+	} else if opts.Bootstrap != nil {
+		return nil, fmt.Errorf("db: Bootstrap requires Follower mode")
 	}
 	return d, nil
 }
@@ -288,6 +323,9 @@ func (d *DB) MemoryBytes() int {
 // error mid-fan-out leaves the *unpublished* view states torn (some views
 // ahead of others); treat it as fatal and rebuild from the log.
 func (d *DB) Apply(batch []Update) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	d.baseBatch = d.baseBatch[:0]
 	for _, u := range batch {
 		if len(u.Tuples) == 0 {
@@ -353,6 +391,11 @@ func (d *DB) applyBase(batch []data.BaseUpdate, logIt bool) error {
 // worker pool (if any) is stopped, and the next published Epoch no longer
 // carries it. Readers pinned on earlier epochs keep reading their snapshots.
 func (d *DB) DropView(name string) error {
+	if !d.closing {
+		if err := d.writable(); err != nil {
+			return err
+		}
+	}
 	d.mu.RLock()
 	v := d.views[name]
 	d.mu.RUnlock()

@@ -91,6 +91,9 @@ func CreateView[P any](d *DB, name string, q query.Query, r ring.Ring[P], lift d
 	if name == "" {
 		return nil, fmt.Errorf("db: empty view name")
 	}
+	if err := d.writable(); err != nil {
+		return nil, err
+	}
 	if d.HasView(name) {
 		return nil, fmt.Errorf("db: view %q already exists", name)
 	}

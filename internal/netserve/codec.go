@@ -1,0 +1,109 @@
+package netserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fivm/internal/data"
+)
+
+// Key values travel in two shapes: as repeated ?key= query parameters on
+// the read path, and as JSON arrays on the write path. Both map onto the
+// three key kinds of the data model (int64, float64, string).
+
+// parseValue decodes one query-parameter value. An explicit kind prefix —
+// "i:", "f:", or "s:" — forces the type; without one the value is sniffed
+// int-first, then float, then string, which matches how the repl's .play
+// loader reads CSV fields.
+func parseValue(s string) (data.Value, error) {
+	switch {
+	case strings.HasPrefix(s, "i:"):
+		n, err := strconv.ParseInt(s[2:], 10, 64)
+		if err != nil {
+			return data.Value{}, fmt.Errorf("bad int key %q: %w", s, err)
+		}
+		return data.Int(n), nil
+	case strings.HasPrefix(s, "f:"):
+		f, err := strconv.ParseFloat(s[2:], 64)
+		if err != nil {
+			return data.Value{}, fmt.Errorf("bad float key %q: %w", s, err)
+		}
+		return data.Float(f), nil
+	case strings.HasPrefix(s, "s:"):
+		return data.String(s[2:]), nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return data.Int(n), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return data.Float(f), nil
+	}
+	return data.String(s), nil
+}
+
+// tupleFromQuery assembles the repeated ?key= parameters, in order, into a
+// key tuple.
+func tupleFromQuery(keys []string) (data.Tuple, error) {
+	t := make(data.Tuple, 0, len(keys))
+	for _, k := range keys {
+		v, err := parseValue(k)
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, v)
+	}
+	return t, nil
+}
+
+// valueFromJSON decodes one JSON array element (decoded with UseNumber) as
+// a key value: numbers become int64 when they parse exactly, float64
+// otherwise; strings stay strings.
+func valueFromJSON(v any) (data.Value, error) {
+	switch x := v.(type) {
+	case json.Number:
+		if n, err := strconv.ParseInt(x.String(), 10, 64); err == nil {
+			return data.Int(n), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return data.Value{}, fmt.Errorf("bad number %q: %w", x.String(), err)
+		}
+		return data.Float(f), nil
+	case string:
+		return data.String(x), nil
+	default:
+		return data.Value{}, fmt.Errorf("unsupported key value %T (want number or string)", v)
+	}
+}
+
+// tupleFromJSON decodes one JSON tuple (an array of numbers/strings).
+func tupleFromJSON(vals []any) (data.Tuple, error) {
+	t := make(data.Tuple, 0, len(vals))
+	for _, v := range vals {
+		dv, err := valueFromJSON(v)
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, dv)
+	}
+	return t, nil
+}
+
+// jsonTuple renders a key tuple as a JSON-encodable array, preserving the
+// value kinds (ints stay integral, floats stay floats, strings strings).
+func jsonTuple(t data.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		switch v.Kind() {
+		case data.KindInt:
+			out[i] = v.AsInt()
+		case data.KindFloat:
+			out[i] = v.AsFloat()
+		default:
+			out[i] = v.AsString()
+		}
+	}
+	return out
+}

@@ -1,0 +1,505 @@
+// Package netserve is the network read/write surface over a db.DB: a
+// dependency-free HTTP server exposing the epoch-pinned read path (point
+// lookups, ordered prefix scans), one-shot SELECT, view DDL, and a
+// backpressured write path.
+//
+// Consistency contract: every request pins exactly one published Epoch and
+// answers entirely from it, so a response is never torn across batches. The
+// pinned epoch is reported on every response via the X-Fivm-Epoch (epoch
+// sequence number), X-Fivm-Applied (batches reflected), and X-Fivm-Lag
+// (age of the epoch's publication) headers; a client that must not read
+// backwards passes ?min_epoch=N and gets 412 Precondition Failed when the
+// serving epoch is older (e.g. on a lagging read replica).
+//
+// Backpressure: writes go through a bounded db.ApplyQueue. When the queue
+// is full, POST /apply fails fast with 429 Too Many Requests and a
+// Retry-After header instead of queueing unbounded work.
+//
+// Connections are stateful only as an optimization: each accepted
+// connection carries reusable serve.Reader handles (key-encoding scratch
+// kept warm across requests) re-pinned to the request's epoch, so
+// steady-state lookups do not allocate on the read path itself.
+package netserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fivm/internal/data"
+	"fivm/internal/db"
+	"fivm/internal/serve"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DB returns the database to serve. It is a function, not a pointer,
+	// because a replication follower atomically swaps its DB on checkpoint
+	// re-bootstrap; each request calls DB once and works on that instance.
+	DB func() *db.DB
+
+	// Queue is the bounded ingest queue feeding the DB's maintenance
+	// goroutine. nil makes the server read-only (the follower shape):
+	// POST /apply, /exec, and /select answer 403.
+	Queue *db.ApplyQueue
+
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+
+	// MaxScan caps rows returned by one scan or SELECT (default 10000).
+	MaxScan int
+}
+
+// Server is the HTTP server. Create with New, start with Serve, stop with
+// Shutdown (which drains in-flight requests before returning).
+type Server struct {
+	cfg    Config
+	hs     *http.Server
+	selSeq atomic.Uint64
+}
+
+// New builds a Server over the given configuration.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("netserve: Config.DB is required")
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxScan <= 0 {
+		cfg.MaxScan = 10000
+	}
+	s := &Server{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /views", s.handleViews)
+	mux.HandleFunc("GET /view/{name}/lookup", s.handleLookup)
+	mux.HandleFunc("GET /view/{name}/scan", s.handleScan)
+	mux.HandleFunc("POST /exec", s.handleExec)
+	mux.HandleFunc("POST /select", s.handleSelect)
+	mux.HandleFunc("POST /apply", s.handleApply)
+	s.hs = &http.Server{
+		Handler: mux,
+		// Each accepted connection gets its own reader cache; see readersOf.
+		ConnContext: func(ctx context.Context, _ net.Conn) context.Context {
+			return context.WithValue(ctx, readersKey{}, &connReaders{})
+		},
+	}
+	return s, nil
+}
+
+// Handler exposes the route table (tests and in-process embedding).
+// Served this way, requests lack the per-connection reader cache and fall
+// back to per-request readers.
+func (s *Server) Handler() http.Handler { return s.hs.Handler }
+
+// Serve accepts connections on l until Shutdown. Like http.Server.Serve it
+// always returns a non-nil error; after Shutdown it is http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// Shutdown gracefully drains the server: it stops accepting connections and
+// waits for in-flight requests to finish (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error { return s.hs.Shutdown(ctx) }
+
+// connReaders is the per-connection serve.Reader cache: one pinned reader
+// per payload type, re-pinned to each request's epoch. The mutex is for the
+// HTTP/2 case where one connection multiplexes concurrent requests.
+type connReaders struct {
+	mu sync.Mutex
+	f  *serve.Reader[float64]
+	i  *serve.Reader[int64]
+}
+
+type readersKey struct{}
+
+func readersOf(r *http.Request) *connReaders {
+	if cr, ok := r.Context().Value(readersKey{}).(*connReaders); ok {
+		return cr
+	}
+	return &connReaders{} // no ConnContext (embedded handler): per-request
+}
+
+// --- request plumbing -----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func setEpochHeaders(w http.ResponseWriter, e *db.Epoch) {
+	h := w.Header()
+	h.Set("X-Fivm-Epoch", strconv.FormatUint(e.Seq, 10))
+	h.Set("X-Fivm-Applied", strconv.FormatUint(e.Applied, 10))
+	h.Set("X-Fivm-Lag", time.Since(e.At).String())
+}
+
+// pinEpoch loads the current epoch, stamps the consistency headers, and
+// enforces ?min_epoch. A false return means the response is already written.
+func (s *Server) pinEpoch(w http.ResponseWriter, r *http.Request) (*db.Epoch, bool) {
+	e := s.cfg.DB().Epoch()
+	setEpochHeaders(w, e)
+	if me := r.URL.Query().Get("min_epoch"); me != "" {
+		min, err := strconv.ParseUint(me, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad min_epoch %q", me)
+			return nil, false
+		}
+		if e.Seq < min {
+			httpError(w, http.StatusPreconditionFailed,
+				"serving epoch %d is behind requested min_epoch %d", e.Seq, min)
+			return nil, false
+		}
+	}
+	return e, true
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 32<<20))
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// --- read path ------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.pinEpoch(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": e.Seq})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.pinEpoch(w, r)
+	if !ok {
+		return
+	}
+	d := s.cfg.DB()
+	resp := map[string]any{
+		"epoch":    e.Seq,
+		"applied":  e.Applied,
+		"lag":      time.Since(e.At).String(),
+		"views":    e.Views(),
+		"follower": d.Follower(),
+	}
+	if d.Follower() {
+		resp["repl_lsn"] = d.ReplLSN()
+	}
+	if l := d.WAL(); l != nil {
+		resp["wal_lsn"] = l.LSN()
+	}
+	if q := s.cfg.Queue; q != nil {
+		resp["queue_len"] = q.Len()
+		resp["queue_cap"] = q.Cap()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.pinEpoch(w, r)
+	if !ok {
+		return
+	}
+	type viewInfo struct {
+		Name    string `json:"name"`
+		Payload string `json:"payload"`
+		Groups  int    `json:"groups"`
+	}
+	views := []viewInfo{}
+	for _, name := range e.Views() {
+		vi := viewInfo{Name: name, Payload: "other", Groups: -1}
+		if sf := db.SnapshotOf[float64](e, name); sf != nil {
+			vi.Payload, vi.Groups = "float64", sf.Result().Len()
+		} else if si := db.SnapshotOf[int64](e, name); si != nil {
+			vi.Payload, vi.Groups = "int64", si.Result().Len()
+		}
+		views = append(views, vi)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"views": views})
+}
+
+type row struct {
+	Key   []any `json:"key"`
+	Value any   `json:"value"`
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.pinEpoch(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	key, err := tupleFromQuery(r.URL.Query()["key"])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cr := readersOf(r)
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	var value any
+	var found bool
+	if sf := db.SnapshotOf[float64](e, name); sf != nil {
+		if cr.f == nil {
+			cr.f = serve.NewPinned(sf)
+		} else {
+			cr.f.PinAt(sf)
+		}
+		value, found = cr.f.Lookup(key)
+	} else if si := db.SnapshotOf[int64](e, name); si != nil {
+		if cr.i == nil {
+			cr.i = serve.NewPinned(si)
+		} else {
+			cr.i.PinAt(si)
+		}
+		value, found = cr.i.Lookup(key)
+	} else if e.Has(name) {
+		httpError(w, http.StatusNotImplemented, "view %q has a non-scalar payload", name)
+		return
+	} else {
+		httpError(w, http.StatusNotFound, "unknown view %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"view": name, "key": jsonTuple(key), "found": found, "value": value,
+	})
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.pinEpoch(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	q := r.URL.Query()
+	prefix, err := tupleFromQuery(q["key"])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit := s.cfg.MaxScan
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", ls)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	rows := []row{}
+	truncated := false
+	visit := func(t data.Tuple, p any) bool {
+		if len(rows) == limit {
+			truncated = true
+			return false
+		}
+		rows = append(rows, row{Key: jsonTuple(t), Value: p})
+		return true
+	}
+	cr := readersOf(r)
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if sf := db.SnapshotOf[float64](e, name); sf != nil {
+		if cr.f == nil {
+			cr.f = serve.NewPinned(sf)
+		} else {
+			cr.f.PinAt(sf)
+		}
+		cr.f.Scan(prefix, func(t data.Tuple, p float64) bool { return visit(t, p) })
+	} else if si := db.SnapshotOf[int64](e, name); si != nil {
+		if cr.i == nil {
+			cr.i = serve.NewPinned(si)
+		} else {
+			cr.i.PinAt(si)
+		}
+		cr.i.Scan(prefix, func(t data.Tuple, p int64) bool { return visit(t, p) })
+	} else if e.Has(name) {
+		httpError(w, http.StatusNotImplemented, "view %q has a non-scalar payload", name)
+		return
+	} else {
+		httpError(w, http.StatusNotFound, "unknown view %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"view": name, "prefix": jsonTuple(prefix),
+		"rows": rows, "count": len(rows), "truncated": truncated,
+	})
+}
+
+// --- write path -----------------------------------------------------------
+
+// requireQueue rejects writes on a read-only server (no ingest queue).
+func (s *Server) requireQueue(w http.ResponseWriter) bool {
+	if s.cfg.Queue == nil {
+		httpError(w, http.StatusForbidden, "server is read-only (no ingest queue; writes go to the primary)")
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, db.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(max(1, s.cfg.RetryAfter/time.Second))))
+		httpError(w, http.StatusTooManyRequests, "ingest queue full, retry later")
+	case errors.Is(err, db.ErrFollower):
+		httpError(w, http.StatusForbidden, "%v", err)
+	case errors.Is(err, db.ErrQueueClosed):
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	default:
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if !s.requireQueue(w) {
+		return
+	}
+	var req struct {
+		Updates []struct {
+			Rel    string  `json:"rel"`
+			Mult   int64   `json:"mult"`
+			Tuples [][]any `json:"tuples"`
+		} `json:"updates"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	batch := make([]db.Update, 0, len(req.Updates))
+	tuples := 0
+	for _, u := range req.Updates {
+		up := db.Update{Rel: u.Rel, Mult: u.Mult}
+		for _, tv := range u.Tuples {
+			t, err := tupleFromJSON(tv)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "relation %s: %v", u.Rel, err)
+				return
+			}
+			up.Tuples = append(up.Tuples, t)
+		}
+		tuples += len(up.Tuples)
+		batch = append(batch, up)
+	}
+	if err := s.cfg.Queue.TryApply(batch); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	e := s.cfg.DB().Epoch()
+	setEpochHeaders(w, e)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied": e.Applied, "epoch": e.Seq, "tuples": tuples,
+	})
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	if !s.requireQueue(w) {
+		return
+	}
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		httpError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	var status string
+	err := s.cfg.Queue.Do(func(d *db.DB) error {
+		var err error
+		status, err = d.Exec(req.SQL)
+		return err
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	e := s.cfg.DB().Epoch()
+	setEpochHeaders(w, e)
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "epoch": e.Seq})
+}
+
+// handleSelect answers a one-shot SELECT: the query is registered as a
+// short-lived view on the maintenance goroutine (computing its result
+// through the normal backfill path), its first snapshot is captured, and
+// the view is dropped — all before other queued writes interleave. The
+// rows come from that single consistent snapshot.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if !s.requireQueue(w) {
+		return
+	}
+	var req struct {
+		SQL   string `json:"sql"`
+		Limit int    `json:"limit"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		httpError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	limit := s.cfg.MaxScan
+	if req.Limit > 0 && req.Limit < limit {
+		limit = req.Limit
+	}
+	tmp := fmt.Sprintf("__select_%d", s.selSeq.Add(1))
+	var snap *db.Epoch
+	err := s.cfg.Queue.Do(func(d *db.DB) error {
+		if _, err := db.CreateViewSQL(d, tmp, req.SQL, db.ViewOptions{}); err != nil {
+			return err
+		}
+		snap = d.Epoch()
+		return d.DropView(tmp)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	setEpochHeaders(w, snap)
+	sf := db.SnapshotOf[float64](snap, tmp)
+	if sf == nil {
+		httpError(w, http.StatusInternalServerError, "select result snapshot missing")
+		return
+	}
+	rows := []row{}
+	truncated := false
+	rd := serve.NewPinned(sf)
+	rd.Scan(nil, func(t data.Tuple, p float64) bool {
+		if len(rows) == limit {
+			truncated = true
+			return false
+		}
+		rows = append(rows, row{Key: jsonTuple(t), Value: p})
+		return true
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rows": rows, "count": len(rows), "truncated": truncated,
+	})
+}

@@ -1,0 +1,317 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"fivm/internal/data"
+	"fivm/internal/db"
+	"fivm/internal/wal"
+)
+
+func testCatalog() db.Catalog {
+	return db.Catalog{
+		"R": data.NewSchema("A", "B"),
+		"S": data.NewSchema("A", "C"),
+	}
+}
+
+func tup(vals ...int64) data.Tuple {
+	t := make(data.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = data.Int(v)
+	}
+	return t
+}
+
+const sumsSQL = "CREATE VIEW sums AS SELECT A, SUM(B * C) FROM R NATURAL JOIN S GROUP BY A"
+
+// newPrimary opens a durable primary on an in-memory FS and starts its
+// replication listener on a loopback port.
+func newPrimary(t *testing.T, dur *db.DurabilityOptions) (*db.DB, *Primary) {
+	t.Helper()
+	d, err := db.Open(testCatalog(), db.Options{Durability: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		d.Close()
+		t.Fatal(err)
+	}
+	p, err := NewPrimary(d, lis)
+	if err != nil {
+		d.Close()
+		t.Fatal(err)
+	}
+	go p.Serve()
+	t.Cleanup(func() { p.Close(); d.Close() })
+	return d, p
+}
+
+func startFollower(t *testing.T, cfg FollowerConfig) (*Follower, context.CancelFunc) {
+	t.Helper()
+	if cfg.Catalog == nil {
+		cfg.Catalog = testCatalog()
+	}
+	if cfg.RedialWait == 0 {
+		cfg.RedialWait = 10 * time.Millisecond
+	}
+	f, err := NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		f.Close()
+		<-done
+	})
+	return f, cancel
+}
+
+// waitConverged polls until the follower reflects the primary's applied
+// count (reads via the race-safe Epoch pointer only).
+func waitConverged(t *testing.T, p *db.DB, f *Follower) {
+	t.Helper()
+	want := p.Epoch().Applied
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.DB().Epoch().Applied >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("follower stuck at applied=%d, want %d", f.DB().Epoch().Applied, want)
+}
+
+// viewString renders a view's sorted contents for byte-identity checks.
+func viewString(e *db.Epoch, name string) string {
+	s := db.SnapshotOf[float64](e, name)
+	if s == nil {
+		return "<missing>"
+	}
+	var b strings.Builder
+	for _, en := range s.Result().SortedEntries() {
+		fmt.Fprintf(&b, "%v->%v;", en.Tuple, en.Payload)
+	}
+	return b.String()
+}
+
+// assertIdentical compares every view of the primary's epoch with the
+// follower's at the same applied count.
+func assertIdentical(t *testing.T, p *db.DB, f *Follower) {
+	t.Helper()
+	pe, fe := p.Epoch(), f.DB().Epoch()
+	if pe.Applied != fe.Applied {
+		t.Fatalf("applied: primary %d, follower %d", pe.Applied, fe.Applied)
+	}
+	pv, fv := pe.Views(), fe.Views()
+	if fmt.Sprint(pv) != fmt.Sprint(fv) {
+		t.Fatalf("view catalogs differ: primary %v, follower %v", pv, fv)
+	}
+	for _, name := range pv {
+		if got, want := viewString(fe, name), viewString(pe, name); got != want {
+			t.Fatalf("view %s: follower %q != primary %q", name, got, want)
+		}
+	}
+}
+
+func TestReplicationConverges(t *testing.T) {
+	p, pr := newPrimary(t, &db.DurabilityOptions{Dir: "p", FS: wal.NewMemFS()})
+	f, _ := startFollower(t, FollowerConfig{Primary: pr.Addr().String()})
+
+	if err := p.Apply([]db.Update{db.Insert("R", tup(1, 2), tup(2, 3)), db.Insert("S", tup(1, 10))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(sumsSQL); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply([]db.Update{db.Insert("S", tup(2, 20)), db.Delete("R", tup(1, 2))}); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, p, f)
+	assertIdentical(t, p, f)
+	if f.DB().ReplLSN() != p.WAL().LSN() {
+		t.Fatalf("follower LSN %d != primary %d", f.DB().ReplLSN(), p.WAL().LSN())
+	}
+}
+
+// A follower connecting after the primary pruned its WAL bootstraps from a
+// shipped checkpoint, then follows the tail.
+func TestCheckpointTransferBootstrap(t *testing.T) {
+	p, pr := newPrimary(t, &db.DurabilityOptions{Dir: "p", FS: wal.NewMemFS()})
+	if err := p.Apply([]db.Update{db.Insert("R", tup(1, 2)), db.Insert("S", tup(1, 7))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(sumsSQL); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(); err != nil { // prunes the segments behind it
+		t.Fatal(err)
+	}
+	if err := p.Apply([]db.Update{db.Insert("R", tup(2, 4))}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, _ := startFollower(t, FollowerConfig{Primary: pr.Addr().String()})
+	waitConverged(t, p, f)
+	assertIdentical(t, p, f)
+	if !f.DB().HasView("sums") {
+		t.Fatal("view missing after checkpoint bootstrap")
+	}
+}
+
+// A durable follower restarted mid-stream resumes from its local WAL
+// without re-applying (LSN parity), picking up what it missed.
+func TestDurableFollowerRestartResumes(t *testing.T) {
+	p, pr := newPrimary(t, &db.DurabilityOptions{Dir: "p", FS: wal.NewMemFS()})
+	ffs := wal.NewMemFS()
+	fcfg := FollowerConfig{
+		Primary:    pr.Addr().String(),
+		Durability: &db.DurabilityOptions{Dir: "f", FS: ffs},
+	}
+
+	f, cancel := startFollower(t, fcfg)
+	if err := p.Apply([]db.Update{db.Insert("R", tup(1, 2)), db.Insert("S", tup(1, 3))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(sumsSQL); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, p, f)
+	lsn := f.DB().ReplLSN()
+	cancel()
+	f.Close()
+
+	// Primary keeps going while the follower is down.
+	if err := p.Apply([]db.Update{db.Insert("R", tup(2, 5)), db.Insert("S", tup(2, 6))}); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, _ := startFollower(t, fcfg)
+	if got := f2.DB().ReplLSN(); got < lsn {
+		t.Fatalf("restarted follower regressed to LSN %d (had %d)", got, lsn)
+	}
+	waitConverged(t, p, f2)
+	assertIdentical(t, p, f2)
+}
+
+// A durable follower so far behind that the primary pruned past it is
+// rebuilt from a shipped checkpoint — local WAL wiped and reseeded — and
+// still resumes durable operation afterwards.
+func TestDurableFollowerCheckpointRebootstrap(t *testing.T) {
+	p, pr := newPrimary(t, &db.DurabilityOptions{Dir: "p", FS: wal.NewMemFS()})
+	ffs := wal.NewMemFS()
+	fcfg := FollowerConfig{
+		Primary:    pr.Addr().String(),
+		Durability: &db.DurabilityOptions{Dir: "f", FS: ffs},
+	}
+	f, cancel := startFollower(t, fcfg)
+	if err := p.Apply([]db.Update{db.Insert("R", tup(1, 2))}); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, p, f)
+	cancel()
+	f.Close()
+
+	// While down: more batches, a view, and a pruning checkpoint.
+	if err := p.Apply([]db.Update{db.Insert("S", tup(1, 4)), db.Insert("R", tup(3, 3))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(sumsSQL); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply([]db.Update{db.Insert("S", tup(3, 9))}); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, _ := startFollower(t, fcfg)
+	waitConverged(t, p, f2)
+	assertIdentical(t, p, f2)
+	if f2.DB().ReplLSN() != p.WAL().LSN() {
+		t.Fatalf("LSN parity lost: %d != %d", f2.DB().ReplLSN(), p.WAL().LSN())
+	}
+}
+
+// Property test: a random insert/delete stream with mid-stream DDL, the
+// follower's connection torn down at random points (plus one full durable
+// restart), must still converge to byte-identical epochs without gaps.
+func TestReplicationRandomStreamWithKills(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p, pr := newPrimary(t, &db.DurabilityOptions{Dir: "p", FS: wal.NewMemFS()})
+	ffs := wal.NewMemFS()
+	fcfg := FollowerConfig{
+		Primary:    pr.Addr().String(),
+		Durability: &db.DurabilityOptions{Dir: "f", FS: ffs},
+	}
+	f, cancel := startFollower(t, fcfg)
+
+	// Track live tuples so deletes always hit existing ones (full removal
+	// keeps payloads non-zero: groups either exist or are annihilated
+	// identically on both sides).
+	var liveR, liveS []data.Tuple
+	views := 0
+	rounds := 60
+	if testing.Short() {
+		rounds = 20
+	}
+	for i := 0; i < rounds; i++ {
+		switch {
+		case i == rounds/3 || i == rounds/2:
+			name := fmt.Sprintf("v%d", views)
+			views++
+			sql := fmt.Sprintf("CREATE VIEW %s AS SELECT A, SUM(B * C) FROM R NATURAL JOIN S GROUP BY A", name)
+			if _, err := p.Exec(sql); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			var batch []db.Update
+			n := 1 + rng.Intn(3)
+			for j := 0; j < n; j++ {
+				a, v := int64(1+rng.Intn(8)), int64(1+rng.Intn(9))
+				if rng.Intn(4) == 0 && len(liveR) > 0 {
+					k := rng.Intn(len(liveR))
+					batch = append(batch, db.Delete("R", liveR[k]))
+					liveR = append(liveR[:k], liveR[k+1:]...)
+				} else if rng.Intn(2) == 0 {
+					tu := tup(a, v)
+					liveR = append(liveR, tu)
+					batch = append(batch, db.Insert("R", tu))
+				} else {
+					tu := tup(a, v)
+					liveS = append(liveS, tu)
+					batch = append(batch, db.Insert("S", tu))
+				}
+			}
+			if err := p.Apply(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Tear the connection down at random points mid-stream.
+		if rng.Intn(5) == 0 {
+			f.dropConn()
+		}
+		// Once, kill the whole follower process-style and restart it.
+		if i == 2*rounds/3 {
+			cancel()
+			f.Close()
+			f, cancel = startFollower(t, fcfg)
+		}
+	}
+	waitConverged(t, p, f)
+	assertIdentical(t, p, f)
+	if f.DB().ReplLSN() != p.WAL().LSN() {
+		t.Fatalf("LSN parity lost: %d != %d", f.DB().ReplLSN(), p.WAL().LSN())
+	}
+}

@@ -63,6 +63,24 @@ func NewReaderAt[P any](src Source[P], snap *ivm.ViewSnapshot[P]) *Reader[P] {
 	return &Reader[P]{src: src, snap: snap}
 }
 
+// NewPinned returns a reader pinned to an explicit snapshot with no live
+// source behind it: Refresh is a no-op and the pin moves only through PinAt.
+// This is the network-serving shape — a connection-scoped reader (keeping
+// its key-encoding scratch warm across requests) re-pinned once per request
+// to that request's epoch.
+func NewPinned[P any](snap *ivm.ViewSnapshot[P]) *Reader[P] {
+	return &Reader[P]{snap: snap}
+}
+
+// PinAt re-pins the reader to an explicitly chosen snapshot (nil keeps the
+// current pin). Unlike Refresh it may move backwards: the caller owns the
+// epoch choice.
+func (r *Reader[P]) PinAt(snap *ivm.ViewSnapshot[P]) {
+	if snap != nil {
+		r.snap = snap
+	}
+}
+
 // Epoch returns the pinned epoch number. Epochs are strictly monotonic per
 // source; within one Reader they never regress.
 func (r *Reader[P]) Epoch() uint64 { return r.snap.Epoch }
@@ -74,6 +92,9 @@ func (r *Reader[P]) Snapshot() *ivm.ViewSnapshot[P] { return r.snap }
 // whether it advanced. A reader never moves backwards: if the loaded
 // snapshot is not newer than the pinned one, the pin is kept.
 func (r *Reader[P]) Refresh() bool {
+	if r.src == nil {
+		return false
+	}
 	if s := r.src.Snapshot(); s != nil && s.Epoch > r.snap.Epoch {
 		r.snap = s
 		return true

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path"
 	"strings"
+	"sync"
 	"time"
 
 	"fivm/internal/data"
@@ -138,6 +139,12 @@ type Log struct {
 	lastSync time.Time
 	failed   error // sticky append failure
 	closed   bool
+
+	// Live frame subscribers (stream.go). subMu alone guards them: Subscribe
+	// and Close may race with the appender's notify.
+	subMu      sync.Mutex
+	subs       []*FrameSub
+	subsClosed bool
 }
 
 // Open opens (creating if needed) the WAL in opts.Dir, scans all segments —
@@ -364,6 +371,7 @@ func (l *Log) AppendBatch(applied uint64, batch []data.BaseUpdate) error {
 		return err
 	}
 	l.lsn = lsn
+	l.notify(lsn)
 	return nil
 }
 
@@ -378,6 +386,7 @@ func (l *Log) AppendCreateView(def ViewDef) error {
 		return err
 	}
 	l.lsn = lsn
+	l.notify(lsn)
 	return nil
 }
 
@@ -392,6 +401,7 @@ func (l *Log) AppendDropView(name string) error {
 		return err
 	}
 	l.lsn = lsn
+	l.notify(lsn)
 	return nil
 }
 
@@ -415,6 +425,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.closeSubs()
 	if l.seg == nil {
 		return nil
 	}
